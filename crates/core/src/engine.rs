@@ -1,0 +1,75 @@
+//! The engine abstraction shared by ITA, the baselines and the oracle.
+//!
+//! All monitoring strategies expose the same interface: register continuous
+//! queries, feed stream events (each document arrival may trigger window
+//! expirations), and read the current top-k of any query. Benchmarks, tests
+//! and the [`crate::Monitor`] wrapper are generic over this trait, which is
+//! what makes the paper's ITA-vs-Naïve comparison a one-line swap.
+
+use cts_index::{DocId, Document, QueryId, Timestamp};
+
+use crate::query::ContinuousQuery;
+
+pub use crate::result::RankedDocument;
+
+/// Summary of the work performed for one stream event (an arrival plus the
+/// expirations it caused).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventOutcome {
+    /// Id of the arriving document.
+    pub arrived: DocId,
+    /// Number of documents that expired from the sliding window.
+    pub expired: usize,
+    /// Number of (query, update) pairs examined while handling the arrival —
+    /// i.e. how many queries were identified as potentially affected.
+    pub queries_touched_by_arrival: usize,
+    /// Number of (query, update) pairs examined while handling expirations.
+    pub queries_touched_by_expiration: usize,
+    /// Number of queries whose top-k actually changed.
+    pub results_changed: usize,
+}
+
+/// A continuous top-k monitoring engine.
+pub trait Engine {
+    /// Registers a continuous query, returning its id. The query's initial
+    /// result is computed immediately over the currently valid documents.
+    fn register(&mut self, query: ContinuousQuery) -> QueryId;
+
+    /// Removes a query from the system. Returns `true` if it existed.
+    fn deregister(&mut self, query: QueryId) -> bool;
+
+    /// Processes one stream event: the arrival of `doc` and every expiration
+    /// it triggers under the engine's sliding window.
+    fn process_document(&mut self, doc: Document) -> EventOutcome;
+
+    /// The current top-k of `query`, best first. Fewer than `k` entries are
+    /// returned when fewer than `k` valid documents match the query at all.
+    fn current_results(&self, query: QueryId) -> Vec<RankedDocument>;
+
+    /// Number of registered queries.
+    fn num_queries(&self) -> usize;
+
+    /// Number of currently valid (windowed) documents.
+    fn num_valid_documents(&self) -> usize;
+
+    /// The engine's current stream clock (arrival time of the latest event).
+    fn clock(&self) -> Timestamp;
+
+    /// A short, stable name for reporting ("ita", "naive", …).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_outcome_default_is_zeroed() {
+        let o = EventOutcome::default();
+        assert_eq!(o.expired, 0);
+        assert_eq!(o.queries_touched_by_arrival, 0);
+        assert_eq!(o.queries_touched_by_expiration, 0);
+        assert_eq!(o.results_changed, 0);
+        assert_eq!(o.arrived, DocId(0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-query result sets.
+//!
+//! For each continuous query the ITA engine maintains a result set `R`
+//! containing the current top-k documents **and** every other valid document
+//! that lies above at least one of the query's local thresholds (the paper's
+//! "unverified" documents). Keeping the unverified documents is what makes
+//! the expiration-time *refill* incremental: the threshold search can resume
+//! downwards instead of restarting from the top of the inverted lists.
+//!
+//! [`ResultSet`] is an ordered multiset of `(score, document)` pairs with
+//! by-document lookup, supporting the operations the engines need:
+//! score-ordered traversal, `S_k` (the k-th best score), membership tests and
+//! point updates — all in `O(log |R|)`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use cts_index::DocId;
+use cts_text::Weight;
+
+/// One entry of a query result: a document and its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedDocument {
+    /// The document.
+    pub doc: DocId,
+    /// Its similarity score `S(d|Q)`.
+    pub score: f64,
+}
+
+/// Internal ordering key: descending score, ascending document id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScoreKey {
+    score: Weight,
+    doc: DocId,
+}
+
+impl Ord for ScoreKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .cmp(&self.score)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+impl PartialOrd for ScoreKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The result set `R` of one continuous query.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    ordered: BTreeSet<ScoreKey>,
+    scores: HashMap<DocId, Weight>,
+}
+
+impl ResultSet {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or updates) `doc` with `score`.
+    pub fn insert(&mut self, doc: DocId, score: f64) {
+        let score = Weight::new(score);
+        if let Some(old) = self.scores.insert(doc, score) {
+            self.ordered.remove(&ScoreKey { score: old, doc });
+        }
+        self.ordered.insert(ScoreKey { score, doc });
+    }
+
+    /// Removes `doc`, returning its score if it was present.
+    pub fn remove(&mut self, doc: DocId) -> Option<f64> {
+        let score = self.scores.remove(&doc)?;
+        self.ordered.remove(&ScoreKey { score, doc });
+        Some(score.get())
+    }
+
+    /// The score recorded for `doc`, if present.
+    pub fn score_of(&self, doc: DocId) -> Option<f64> {
+        self.scores.get(&doc).map(|w| w.get())
+    }
+
+    /// Whether `doc` is in the result set.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.scores.contains_key(&doc)
+    }
+
+    /// Number of documents in the set (top-k plus unverified extras).
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The `k`-th best score `S_k`, or `0.0` when fewer than `k` documents
+    /// are present (so that any positive-scoring arrival qualifies for the
+    /// top-k, matching the maintenance rules of §II/§III).
+    pub fn kth_score(&self, k: usize) -> f64 {
+        if k == 0 {
+            return f64::INFINITY;
+        }
+        self.ordered
+            .iter()
+            .nth(k - 1)
+            .map(|e| e.score.get())
+            .unwrap_or(0.0)
+    }
+
+    /// The top `k` documents in descending score order.
+    pub fn top(&self, k: usize) -> Vec<RankedDocument> {
+        self.ordered
+            .iter()
+            .take(k)
+            .map(|e| RankedDocument {
+                doc: e.doc,
+                score: e.score.get(),
+            })
+            .collect()
+    }
+
+    /// Whether `doc` currently ranks within the top `k` (ties broken by
+    /// ascending document id, consistently with [`ResultSet::top`]).
+    pub fn is_in_top_k(&self, doc: DocId, k: usize) -> bool {
+        match self.scores.get(&doc) {
+            None => false,
+            Some(&score) => self
+                .ordered
+                .iter()
+                .take(k)
+                .any(|e| e.doc == doc && e.score == score),
+        }
+    }
+
+    /// Iterates over all entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = RankedDocument> + '_ {
+        self.ordered.iter().map(|e| RankedDocument {
+            doc: e.doc,
+            score: e.score.get(),
+        })
+    }
+
+    /// The best (highest) score, if any.
+    pub fn best_score(&self) -> Option<f64> {
+        self.ordered.iter().next().map(|e| e.score.get())
+    }
+
+    /// The worst (lowest) score currently retained, if any.
+    pub fn worst_score(&self) -> Option<f64> {
+        self.ordered.iter().next_back().map(|e| e.score.get())
+    }
+
+    /// Removes and returns the lowest-scored entry (used by bounded buffers
+    /// such as the Naïve engine's top-`k_max` view).
+    pub fn pop_worst(&mut self) -> Option<RankedDocument> {
+        let worst = *self.ordered.iter().next_back()?;
+        self.ordered.remove(&worst);
+        self.scores.remove(&worst.doc);
+        Some(RankedDocument {
+            doc: worst.doc,
+            score: worst.score.get(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId(i)
+    }
+
+    #[test]
+    fn insert_and_rank_order() {
+        let mut r = ResultSet::new();
+        r.insert(d(6), 0.19);
+        r.insert(d(2), 0.17);
+        r.insert(d(7), 0.15);
+        let top = r.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].doc, d(6));
+        assert_eq!(top[1].doc, d(2));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn kth_score_matches_paper_example() {
+        // Initial result {⟨d6,0.19⟩, ⟨d2,0.17⟩} with k = 2 → S_k = 0.17.
+        let mut r = ResultSet::new();
+        r.insert(d(6), 0.19);
+        r.insert(d(2), 0.17);
+        r.insert(d(7), 0.15);
+        assert!((r.kth_score(2) - 0.17).abs() < 1e-12);
+        // After d9 (0.20) arrives → S_k becomes 0.19.
+        r.insert(d(9), 0.20);
+        assert!((r.kth_score(2) - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kth_score_with_too_few_documents_is_zero() {
+        let mut r = ResultSet::new();
+        assert_eq!(r.kth_score(3), 0.0);
+        r.insert(d(1), 0.4);
+        assert_eq!(r.kth_score(3), 0.0);
+        assert_eq!(r.kth_score(1), 0.4);
+        assert_eq!(r.kth_score(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn update_replaces_previous_score() {
+        let mut r = ResultSet::new();
+        r.insert(d(1), 0.2);
+        r.insert(d(1), 0.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.score_of(d(1)), Some(0.5));
+        assert_eq!(r.top(1)[0].score, 0.5);
+    }
+
+    #[test]
+    fn remove_and_membership() {
+        let mut r = ResultSet::new();
+        r.insert(d(1), 0.2);
+        assert!(r.contains(d(1)));
+        assert_eq!(r.remove(d(1)), Some(0.2));
+        assert!(!r.contains(d(1)));
+        assert_eq!(r.remove(d(1)), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ties_are_broken_by_document_id() {
+        let mut r = ResultSet::new();
+        r.insert(d(30), 0.5);
+        r.insert(d(10), 0.5);
+        r.insert(d(20), 0.5);
+        let order: Vec<u64> = r.iter().map(|e| e.doc.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(r.is_in_top_k(d(10), 1));
+        assert!(!r.is_in_top_k(d(30), 2));
+        assert!(r.is_in_top_k(d(30), 3));
+    }
+
+    #[test]
+    fn best_worst_and_pop_worst() {
+        let mut r = ResultSet::new();
+        r.insert(d(1), 0.9);
+        r.insert(d(2), 0.1);
+        r.insert(d(3), 0.5);
+        assert_eq!(r.best_score(), Some(0.9));
+        assert_eq!(r.worst_score(), Some(0.1));
+        let popped = r.pop_worst().unwrap();
+        assert_eq!(popped.doc, d(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.worst_score(), Some(0.5));
+    }
+
+    #[test]
+    fn is_in_top_k_for_absent_document() {
+        let r = ResultSet::new();
+        assert!(!r.is_in_top_k(d(1), 5));
+    }
+
+    #[test]
+    fn iter_is_descending() {
+        let mut r = ResultSet::new();
+        for i in 0..20u64 {
+            r.insert(d(i), (i as f64) * 0.01);
+        }
+        let scores: Vec<f64> = r.iter().map(|e| e.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

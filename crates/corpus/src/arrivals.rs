@@ -1,0 +1,124 @@
+//! Poisson arrival process.
+//!
+//! The paper streams documents into the monitoring system "following a
+//! Poisson process with a mean arrival rate of 200 documents/second".
+//! [`PoissonArrivals`] produces exactly that: a deterministic (seeded)
+//! sequence of monotonically increasing [`Timestamp`]s whose inter-arrival
+//! gaps are exponentially distributed with the configured mean rate.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use cts_index::Timestamp;
+
+use crate::config::StreamConfig;
+use crate::distributions::exponential;
+
+/// A seeded Poisson arrival-time generator.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: SmallRng,
+    rate: f64,
+    current_micros: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates an arrival process with the given mean rate (documents per
+    /// second) and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            rate: rate_per_sec,
+            current_micros: 0.0,
+        }
+    }
+
+    /// Creates an arrival process from a [`StreamConfig`].
+    pub fn from_config(config: &StreamConfig) -> Self {
+        Self::new(config.arrival_rate_per_sec, config.seed)
+    }
+
+    /// The configured mean arrival rate (documents per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Returns the next arrival timestamp. Timestamps are strictly
+    /// increasing (enforced by a one-microsecond minimum gap so that
+    /// downstream consumers can rely on a total order of events).
+    pub fn next_arrival(&mut self) -> Timestamp {
+        let gap_secs = exponential(&mut self.rng, self.rate);
+        let gap_micros = (gap_secs * 1e6).max(1.0);
+        self.current_micros += gap_micros;
+        Timestamp::from_micros(self.current_micros as u64)
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        Some(self.next_arrival())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonArrivals::new(200.0, 1);
+        let mut last = Timestamp::ZERO;
+        for _ in 0..10_000 {
+            let t = p.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let mut p = PoissonArrivals::new(200.0, 2);
+        let n = 100_000;
+        let mut last = Timestamp::ZERO;
+        for _ in 0..n {
+            last = p.next_arrival();
+        }
+        let elapsed_secs = last.as_secs_f64();
+        let empirical_rate = n as f64 / elapsed_secs;
+        assert!(
+            (empirical_rate - 200.0).abs() / 200.0 < 0.05,
+            "empirical rate {empirical_rate}"
+        );
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a: Vec<_> = PoissonArrivals::new(50.0, 99).take(100).collect();
+        let b: Vec<_> = PoissonArrivals::new(50.0, 99).take(100).collect();
+        let c: Vec<_> = PoissonArrivals::new(50.0, 100).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_config_uses_defaults() {
+        let p = PoissonArrivals::from_config(&StreamConfig::default());
+        assert!((p.rate() - 200.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_is_rejected() {
+        let _ = PoissonArrivals::new(0.0, 1);
+    }
+}

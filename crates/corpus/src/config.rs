@@ -1,0 +1,144 @@
+//! Configuration of the synthetic corpus, stream and query workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the synthetic document collection.
+///
+/// Defaults approximate the WSJ corpus used by the paper: a dictionary of
+/// ~182,000 terms whose frequencies follow a Zipf law, and documents of a few
+/// hundred terms with a heavy right tail (log-normal length distribution).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of distinct terms in the vocabulary.
+    pub vocabulary_size: usize,
+    /// Zipf skew parameter `s` of the term-frequency distribution
+    /// (`P(rank r) ∝ 1 / r^s`). Natural-language text is close to 1.0.
+    pub zipf_exponent: f64,
+    /// Mean of the log-normal document length (ln-scale location μ).
+    pub doc_len_mu: f64,
+    /// Standard deviation of the log-normal document length (ln-scale σ).
+    pub doc_len_sigma: f64,
+    /// Minimum number of term occurrences per document (lengths are clamped).
+    pub min_doc_len: usize,
+    /// Maximum number of term occurrences per document (lengths are clamped).
+    pub max_doc_len: usize,
+    /// Seed for the deterministic pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            // Matches the paper's 181,978-term post-stop-word dictionary.
+            vocabulary_size: 181_978,
+            zipf_exponent: 1.0,
+            // exp(5.5) ≈ 245 median terms; mean ≈ 430 — typical of WSJ
+            // articles after stop-word removal.
+            doc_len_mu: 5.5,
+            doc_len_sigma: 0.75,
+            min_doc_len: 30,
+            max_doc_len: 4_000,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A reduced configuration for unit tests and quick examples: a small
+    /// vocabulary and short documents so that everything runs in
+    /// milliseconds while preserving the Zipfian shape.
+    pub fn small() -> Self {
+        Self {
+            vocabulary_size: 2_000,
+            zipf_exponent: 1.0,
+            doc_len_mu: 3.6, // ≈ 36 terms median
+            doc_len_sigma: 0.5,
+            min_doc_len: 8,
+            max_doc_len: 300,
+            seed: 0x5EED_0002,
+        }
+    }
+}
+
+/// Configuration of the document stream feeding the monitoring server.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Mean document arrival rate, in documents per second (Poisson process).
+    /// The paper uses 200 documents/second.
+    pub arrival_rate_per_sec: f64,
+    /// Seed for the arrival-process pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate_per_sec: 200.0,
+            seed: 0x5EED_0003,
+        }
+    }
+}
+
+/// Configuration of the continuous-query workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of continuous queries to register. The paper uses 1,000.
+    pub num_queries: usize,
+    /// Number of search terms per query (`n`). The paper varies 4–40 with a
+    /// default of 10.
+    pub query_length: usize,
+    /// Number of results each query maintains (`k`). The paper uses 10.
+    pub k: usize,
+    /// Whether query terms are drawn uniformly from the dictionary (the
+    /// paper's setting) or proportionally to term popularity.
+    pub popularity_biased: bool,
+    /// Seed for the workload pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 1_000,
+            query_length: 10,
+            k: 10,
+            popularity_biased: false,
+            seed: 0x5EED_0004,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_setup() {
+        let c = CorpusConfig::default();
+        assert_eq!(c.vocabulary_size, 181_978);
+        let s = StreamConfig::default();
+        assert!((s.arrival_rate_per_sec - 200.0).abs() < f64::EPSILON);
+        let w = WorkloadConfig::default();
+        assert_eq!(w.num_queries, 1_000);
+        assert_eq!(w.k, 10);
+        assert_eq!(w.query_length, 10);
+        assert!(!w.popularity_biased);
+    }
+
+    #[test]
+    fn small_config_is_small_but_well_formed() {
+        let c = CorpusConfig::small();
+        assert!(c.vocabulary_size < 10_000);
+        assert!(c.min_doc_len < c.max_doc_len);
+        assert!(c.zipf_exponent > 0.0);
+    }
+
+    #[test]
+    fn configs_serialize_roundtrip() {
+        let c = CorpusConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CorpusConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.vocabulary_size, c.vocabulary_size);
+        assert_eq!(back.seed, c.seed);
+    }
+}

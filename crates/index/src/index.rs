@@ -1,0 +1,223 @@
+//! The streaming inverted index.
+//!
+//! An [`InvertedIndex`] owns the valid-document store and one impact-ordered
+//! [`InvertedList`] per term seen in the window. Document arrival inserts one
+//! impact entry per composition-list term; expiration removes them again and
+//! drops empty lists, so memory tracks the window contents exactly (Figure 1
+//! of the paper).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cts_text::{TermId, Weight};
+
+use crate::document::{DocId, Document};
+use crate::posting::InvertedList;
+use crate::store::DocumentStore;
+
+/// The streaming inverted index over the valid documents.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    store: DocumentStore,
+    lists: HashMap<TermId, InvertedList>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty index sized for roughly `docs` valid documents of
+    /// `terms_per_doc` distinct terms each.
+    pub fn with_capacity(docs: usize, terms_per_doc: usize) -> Self {
+        Self {
+            store: DocumentStore::with_capacity(docs),
+            lists: HashMap::with_capacity(docs.saturating_mul(terms_per_doc) / 4),
+        }
+    }
+
+    /// Inserts an arriving document: stores it and adds one impact entry per
+    /// composition-list term.
+    pub fn insert_document(&mut self, doc: Document) {
+        for entry in doc.composition.iter() {
+            let weight = Weight::new(entry.weight);
+            self.lists
+                .entry(entry.term)
+                .or_default()
+                .insert(doc.id, weight);
+        }
+        self.store.push(doc);
+    }
+
+    /// Removes the document with id `id` (normally the oldest, on expiration):
+    /// deletes its impact entries and returns the document for further
+    /// processing by the engines. Returns `None` if `id` is not valid.
+    pub fn remove_document(&mut self, id: DocId) -> Option<Document> {
+        let doc = self.store.remove(id)?;
+        for entry in doc.composition.iter() {
+            let weight = Weight::new(entry.weight);
+            let empty = if let Some(list) = self.lists.get_mut(&entry.term) {
+                list.remove(id, weight);
+                list.is_empty()
+            } else {
+                false
+            };
+            if empty {
+                self.lists.remove(&entry.term);
+            }
+        }
+        Some(doc)
+    }
+
+    /// The valid-document store.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// The inverted list for `term`, if any valid document contains it.
+    pub fn list(&self, term: TermId) -> Option<&InvertedList> {
+        self.lists.get(&term)
+    }
+
+    /// Number of valid documents.
+    pub fn num_documents(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of non-empty inverted lists (distinct terms in the window).
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Iterates over `(term, list)` pairs in arbitrary order.
+    pub fn lists(&self) -> impl Iterator<Item = (TermId, &InvertedList)> {
+        self.lists.iter().map(|(t, l)| (*t, l))
+    }
+
+    /// A point-in-time summary of the index shape.
+    pub fn stats(&self) -> IndexStats {
+        let total_postings: usize = self.lists.values().map(InvertedList::len).sum();
+        let longest_list = self.lists.values().map(InvertedList::len).max().unwrap_or(0);
+        IndexStats {
+            documents: self.store.len(),
+            terms: self.lists.len(),
+            postings: total_postings,
+            longest_list,
+        }
+    }
+}
+
+/// Point-in-time index statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of valid documents.
+    pub documents: usize,
+    /// Number of non-empty inverted lists.
+    pub terms: usize,
+    /// Total number of impact entries across all lists.
+    pub postings: usize,
+    /// Length of the longest inverted list.
+    pub longest_list: usize,
+}
+
+impl IndexStats {
+    /// Average inverted-list length (0 when there are no terms).
+    pub fn average_list_len(&self) -> f64 {
+        if self.terms == 0 {
+            0.0
+        } else {
+            self.postings as f64 / self.terms as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Timestamp;
+    use cts_text::WeightedVector;
+
+    fn doc(id: u64, terms: &[(u32, f64)]) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights(terms.iter().map(|&(t, w)| (TermId(t), w))),
+        )
+    }
+
+    #[test]
+    fn insert_populates_store_and_lists() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(11, 0.08), (20, 0.06)]));
+        idx.insert_document(doc(2, &[(20, 0.09)]));
+        assert_eq!(idx.num_documents(), 2);
+        assert_eq!(idx.num_terms(), 2);
+        let l20 = idx.list(TermId(20)).unwrap();
+        let order: Vec<u64> = l20.iter().map(|p| p.doc.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert!(idx.list(TermId(99)).is_none());
+    }
+
+    #[test]
+    fn remove_cleans_up_postings_and_empty_lists() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(11, 0.08), (20, 0.06)]));
+        idx.insert_document(doc(2, &[(20, 0.09)]));
+        let removed = idx.remove_document(DocId(1)).unwrap();
+        assert_eq!(removed.id, DocId(1));
+        assert_eq!(idx.num_documents(), 1);
+        // Term 11 only appeared in document 1 → its list is dropped.
+        assert!(idx.list(TermId(11)).is_none());
+        assert_eq!(idx.list(TermId(20)).unwrap().len(), 1);
+        assert!(idx.remove_document(DocId(1)).is_none());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut idx = InvertedIndex::with_capacity(10, 4);
+        idx.insert_document(doc(1, &[(1, 0.5), (2, 0.5)]));
+        idx.insert_document(doc(2, &[(1, 0.4)]));
+        let s = idx.stats();
+        assert_eq!(s.documents, 2);
+        assert_eq!(s.terms, 2);
+        assert_eq!(s.postings, 3);
+        assert_eq!(s.longest_list, 2);
+        assert!((s.average_list_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_index_stats() {
+        let idx = InvertedIndex::new();
+        let s = idx.stats();
+        assert_eq!(s, IndexStats::default());
+        assert_eq!(s.average_list_len(), 0.0);
+    }
+
+    #[test]
+    fn window_churn_keeps_index_consistent() {
+        let mut idx = InvertedIndex::new();
+        // Simulate a count-based window of 3 over 50 arrivals.
+        for i in 0..50u64 {
+            idx.insert_document(doc(i, &[((i % 7) as u32, 0.1 + (i % 5) as f64 * 0.1)]));
+            if idx.num_documents() > 3 {
+                let oldest = idx.store().oldest().unwrap().id;
+                idx.remove_document(oldest).unwrap();
+            }
+        }
+        assert_eq!(idx.num_documents(), 3);
+        let stats = idx.stats();
+        assert_eq!(stats.postings, 3);
+        assert!(stats.terms <= 3);
+    }
+
+    #[test]
+    fn lists_iterator_covers_all_terms() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(1, 0.5), (2, 0.4), (3, 0.3)]));
+        let mut terms: Vec<u32> = idx.lists().map(|(t, _)| t.0).collect();
+        terms.sort_unstable();
+        assert_eq!(terms, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Streaming inverted-index substrate for continuous text search.
+//!
+//! This crate implements the data structures of Figure 1 of the ICDE 2009
+//! paper "An Incremental Threshold Method for Continuous Text Search
+//! Queries":
+//!
+//! * [`DocumentStore`] — the first-in-first-out list of *valid* documents
+//!   (the sliding window contents), holding each document's full composition
+//!   list for random-access scoring.
+//! * [`InvertedList`] / [`InvertedIndex`] — one impact-ordered inverted list
+//!   per dictionary term, holding `⟨d, w_{d,t}⟩` entries sorted by decreasing
+//!   weight, maintained under document arrival and expiration.
+//! * [`ThresholdTree`] — the per-list book-keeping structure holding one
+//!   `⟨θ_{Q,t}, Q⟩` entry per query that contains the list's term, supporting
+//!   the probe "all queries whose local threshold is ≤ w".
+//! * [`SlidingWindow`] — count-based and time-based window policies deciding
+//!   which documents expire when a new one arrives (or when time advances).
+//!
+//! The crate knows nothing about queries' result sets or the ITA algorithm
+//! itself; that lives in `cts-core`. Everything here is deterministic, purely
+//! in-memory and designed for high update rates (insertions and removals are
+//! `O(log n)` per affected list).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod index;
+pub mod posting;
+pub mod store;
+pub mod threshold;
+pub mod window;
+
+pub use document::{DocId, Document, QueryId, Timestamp};
+pub use index::{IndexStats, InvertedIndex};
+pub use posting::{InvertedList, Posting};
+pub use store::DocumentStore;
+pub use threshold::{ThresholdEntry, ThresholdTree};
+pub use window::{SlidingWindow, WindowKind};

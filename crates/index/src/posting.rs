@@ -1,0 +1,330 @@
+//! Impact-ordered inverted lists.
+//!
+//! An [`InvertedList`] `L_t` holds one [`Posting`] `⟨w_{d,t}, d⟩` per valid
+//! document containing term `t`, ordered by **decreasing** weight (ties broken
+//! by increasing document id). The Incremental Threshold Algorithm needs
+//! three access patterns, all of which are `O(log n)` to locate plus linear in
+//! the number of entries actually visited:
+//!
+//! * sequential descent from the top of the list (initial top-k search),
+//! * resumed descent strictly below a remembered weight (the query's local
+//!   threshold, used by the refill step), and
+//! * point insertion/removal under document arrival and expiration.
+//!
+//! The list is backed by a `BTreeSet` with a descending-weight key; no
+//! per-entry allocation occurs beyond the tree nodes themselves.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use serde::{Deserialize, Serialize};
+
+use cts_text::Weight;
+
+use crate::document::DocId;
+
+/// One `⟨w_{d,t}, d⟩` impact entry of an inverted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The impact weight `w_{d,t}`.
+    pub weight: Weight,
+    /// The document.
+    pub doc: DocId,
+}
+
+impl Posting {
+    /// Creates a posting.
+    pub fn new(doc: DocId, weight: Weight) -> Self {
+        Self { weight, doc }
+    }
+}
+
+/// Key wrapper giving postings the list order: decreasing weight, then
+/// increasing document id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DescendingKey(Posting);
+
+impl Ord for DescendingKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .weight
+            .cmp(&self.0.weight)
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+impl PartialOrd for DescendingKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An impact-ordered inverted list for a single term.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedList {
+    entries: BTreeSet<DescendingKey>,
+}
+
+impl InvertedList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the posting for `doc` with weight `weight`.
+    /// Returns `false` if an identical posting was already present.
+    pub fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
+        self.entries.insert(DescendingKey(Posting::new(doc, weight)))
+    }
+
+    /// Removes the posting for `doc` with weight `weight`.
+    /// Returns `true` if the posting was present.
+    pub fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
+        self.entries.remove(&DescendingKey(Posting::new(doc, weight)))
+    }
+
+    /// Number of postings in the list.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The posting with the highest weight, if any.
+    pub fn first(&self) -> Option<Posting> {
+        self.entries.iter().next().map(|k| k.0)
+    }
+
+    /// Iterates over all postings in decreasing-weight order.
+    pub fn iter(&self) -> impl Iterator<Item = Posting> + '_ {
+        self.entries.iter().map(|k| k.0)
+    }
+
+    /// Iterates over postings **strictly below** `weight` (i.e. `w_{d,t} <
+    /// weight`), in decreasing-weight order. This is the "resume the search
+    /// below the local threshold" access path of ITA's refill step.
+    pub fn iter_below(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
+        // In descending order, all postings with weight == `weight` sort
+        // before the bound below, so excluding the bound skips them entirely.
+        let bound = DescendingKey(Posting::new(DocId::MAX, weight));
+        self.entries
+            .range((Bound::Excluded(bound), Bound::Unbounded))
+            .map(|k| k.0)
+    }
+
+    /// Iterates over postings with weight **at or above** `weight`
+    /// (`w_{d,t} ≥ weight`), in decreasing-weight order. Used by invariant
+    /// checks ("every document above a local threshold is in R").
+    pub fn iter_at_or_above(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
+        let bound = DescendingKey(Posting::new(DocId::MAX, weight));
+        self.entries
+            .range((Bound::Unbounded, Bound::Included(bound)))
+            .map(|k| k.0)
+    }
+
+    /// Iterates over postings with weight **at or below** `weight`
+    /// (`w_{d,t} ≤ weight`), in decreasing-weight order. ITA's refill resumes
+    /// its descent here: entries tied with the recorded local threshold may or
+    /// may not have been visited before, so the caller skips documents that
+    /// are already in its result set.
+    pub fn iter_at_or_below(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
+        let bound = DescendingKey(Posting::new(DocId(0), weight));
+        self.entries
+            .range((Bound::Included(bound), Bound::Unbounded))
+            .map(|k| k.0)
+    }
+
+    /// Iterates over postings whose weight lies in `[lower, upper)`, in
+    /// decreasing-weight order. Used by ITA's roll-up to find the documents
+    /// whose only support was the just-raised threshold segment.
+    pub fn iter_weight_range(
+        &self,
+        lower_inclusive: Weight,
+        upper_exclusive: Weight,
+    ) -> impl Iterator<Item = Posting> + '_ {
+        let upper = DescendingKey(Posting::new(DocId::MAX, upper_exclusive));
+        let lower = DescendingKey(Posting::new(DocId::MAX, lower_inclusive));
+        self.entries
+            .range((Bound::Excluded(upper), Bound::Included(lower)))
+            .map(|k| k.0)
+    }
+
+    /// The posting immediately following `previous` in descending order
+    /// (strictly after it), if any. Passing `None` returns the first posting.
+    /// This is the sequential-descent cursor used by the threshold algorithm.
+    pub fn next_after(&self, previous: Option<Posting>) -> Option<Posting> {
+        match previous {
+            None => self.first(),
+            Some(p) => self
+                .entries
+                .range((Bound::Excluded(DescendingKey(p)), Bound::Unbounded))
+                .next()
+                .map(|k| k.0),
+        }
+    }
+
+    /// The posting immediately **above** the given weight position: the
+    /// lowest-ranked posting whose weight is strictly greater than `weight`.
+    /// This is the `c_t` used when rolling local thresholds *up* (the paper's
+    /// "the ct values are defined by the preceding entry in Lt").
+    pub fn lowest_above(&self, weight: Weight) -> Option<Posting> {
+        // In descending order every posting with weight > `weight` sorts
+        // strictly before (weight, DocId(0)), the smallest key of weight
+        // exactly `weight`; the last such posting is the one we want.
+        let bound = DescendingKey(Posting::new(DocId(0), weight));
+        self.entries
+            .range((Bound::Unbounded, Bound::Excluded(bound)))
+            .next_back()
+            .map(|k| k.0)
+    }
+
+    /// Returns the weight stored for `doc`, if the document appears in this
+    /// list. Linear scan; used only by tests and invariant checks.
+    pub fn weight_of(&self, doc: DocId) -> Option<Weight> {
+        self.iter().find(|p| p.doc == doc).map(|p| p.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x)
+    }
+
+    fn list(entries: &[(u64, f64)]) -> InvertedList {
+        let mut l = InvertedList::new();
+        for &(d, x) in entries {
+            assert!(l.insert(DocId(d), w(x)));
+        }
+        l
+    }
+
+    #[test]
+    fn iteration_is_descending_by_weight() {
+        let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05), (9, 0.16)]);
+        let docs: Vec<u64> = l.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![9, 7, 1, 5, 8]);
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let l = list(&[(30, 0.5), (10, 0.5), (20, 0.5)]);
+        let docs: Vec<u64> = l.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut l = list(&[(1, 0.3), (2, 0.2)]);
+        assert_eq!(l.len(), 2);
+        assert!(l.remove(DocId(1), w(0.3)));
+        assert!(!l.remove(DocId(1), w(0.3)));
+        assert_eq!(l.len(), 1);
+        assert!(l.weight_of(DocId(1)).is_none());
+        assert_eq!(l.weight_of(DocId(2)), Some(w(0.2)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut l = InvertedList::new();
+        assert!(l.insert(DocId(1), w(0.5)));
+        assert!(!l.insert(DocId(1), w(0.5)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn first_and_next_after_walk_the_list() {
+        let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07)]);
+        let p0 = l.next_after(None).unwrap();
+        assert_eq!(p0.doc, DocId(7));
+        let p1 = l.next_after(Some(p0)).unwrap();
+        assert_eq!(p1.doc, DocId(1));
+        let p2 = l.next_after(Some(p1)).unwrap();
+        assert_eq!(p2.doc, DocId(5));
+        assert!(l.next_after(Some(p2)).is_none());
+    }
+
+    #[test]
+    fn iter_below_excludes_equal_weights() {
+        let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]);
+        let below: Vec<u64> = l.iter_below(w(0.08)).map(|p| p.doc.0).collect();
+        assert_eq!(below, vec![5, 8]);
+    }
+
+    #[test]
+    fn iter_at_or_below_includes_equal_weights() {
+        let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]);
+        let below: Vec<u64> = l.iter_at_or_below(w(0.08)).map(|p| p.doc.0).collect();
+        assert_eq!(below, vec![1, 5, 8]);
+        assert_eq!(l.iter_at_or_below(w(0.01)).count(), 0);
+        assert_eq!(l.iter_at_or_below(w(1.0)).count(), 4);
+    }
+
+    #[test]
+    fn iter_weight_range_is_half_open() {
+        let l = list(&[(9, 0.16), (7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]);
+        // [0.07, 0.10): postings with weight 0.08 and 0.07.
+        let docs: Vec<u64> = l
+            .iter_weight_range(w(0.07), w(0.10))
+            .map(|p| p.doc.0)
+            .collect();
+        assert_eq!(docs, vec![1, 5]);
+        // Empty range when the bounds coincide.
+        assert_eq!(l.iter_weight_range(w(0.08), w(0.08)).count(), 0);
+        // Full coverage.
+        assert_eq!(l.iter_weight_range(w(0.0), w(1.0)).count(), 5);
+    }
+
+    #[test]
+    fn iter_at_or_above_includes_equal_weights() {
+        let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]);
+        let above: Vec<u64> = l.iter_at_or_above(w(0.08)).map(|p| p.doc.0).collect();
+        assert_eq!(above, vec![7, 1]);
+    }
+
+    #[test]
+    fn lowest_above_returns_preceding_entry() {
+        // Paper Fig. 2: local threshold at d5 (0.07); the entry above used for
+        // roll-up is d1 (0.08), then d7 (0.10).
+        let l = list(&[(9, 0.16), (7, 0.10), (1, 0.08), (5, 0.07)]);
+        assert_eq!(l.lowest_above(w(0.07)).unwrap().doc, DocId(1));
+        assert_eq!(l.lowest_above(w(0.08)).unwrap().doc, DocId(7));
+        assert_eq!(l.lowest_above(w(0.10)).unwrap().doc, DocId(9));
+        assert!(l.lowest_above(w(0.16)).is_none());
+        assert!(l.lowest_above(w(0.99)).is_none());
+    }
+
+    #[test]
+    fn lowest_above_with_ties_returns_a_tied_entry_only_if_strictly_greater() {
+        let l = list(&[(1, 0.5), (2, 0.5), (3, 0.3)]);
+        // Strictly above 0.3 → one of the 0.5 postings (the last in order, doc 2).
+        assert_eq!(l.lowest_above(w(0.3)).unwrap().weight, w(0.5));
+        // Strictly above 0.5 → nothing.
+        assert!(l.lowest_above(w(0.5)).is_none());
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let l = InvertedList::new();
+        assert!(l.is_empty());
+        assert!(l.first().is_none());
+        assert!(l.next_after(None).is_none());
+        assert_eq!(l.iter_below(w(1.0)).count(), 0);
+        assert_eq!(l.iter_at_or_above(w(0.0)).count(), 0);
+    }
+
+    #[test]
+    fn same_document_may_appear_with_updated_weight_after_reinsert() {
+        let mut l = list(&[(1, 0.4)]);
+        assert!(l.remove(DocId(1), w(0.4)));
+        assert!(l.insert(DocId(1), w(0.6)));
+        assert_eq!(l.weight_of(DocId(1)), Some(w(0.6)));
+        assert_eq!(l.len(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sliding-window policies.
+//!
+//! The paper considers **count-based** windows ("the N most recent
+//! documents", the default in its experiments) and **time-based** windows
+//! ("documents received in the last T time units"). A [`SlidingWindow`]
+//! inspects the [`DocumentStore`] after each arrival (or clock advance) and
+//! reports which documents have ceased to be valid; the engines then process
+//! those expirations.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::document::{DocId, Timestamp};
+use crate::store::DocumentStore;
+
+/// The window policy in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// Keep the `N` most recent documents.
+    CountBased {
+        /// Window size in documents.
+        size: usize,
+    },
+    /// Keep documents that arrived within the last `duration`.
+    TimeBased {
+        /// Window length in microseconds.
+        duration_micros: u64,
+    },
+}
+
+impl WindowKind {
+    /// A count-based window of `size` documents.
+    pub fn count(size: usize) -> Self {
+        WindowKind::CountBased { size }
+    }
+
+    /// A time-based window of the given duration.
+    pub fn time(duration: Duration) -> Self {
+        WindowKind::TimeBased {
+            duration_micros: duration.as_micros() as u64,
+        }
+    }
+}
+
+/// A sliding window over the document stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    kind: WindowKind,
+}
+
+impl SlidingWindow {
+    /// Creates a window with the given policy.
+    pub fn new(kind: WindowKind) -> Self {
+        Self { kind }
+    }
+
+    /// A count-based window of `size` documents (the paper's default).
+    pub fn count_based(size: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        Self::new(WindowKind::count(size))
+    }
+
+    /// A time-based window of the given duration.
+    pub fn time_based(duration: Duration) -> Self {
+        assert!(!duration.is_zero(), "window duration must be positive");
+        Self::new(WindowKind::time(duration))
+    }
+
+    /// The policy in force.
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Determines which documents expire given the store contents and the
+    /// current stream time (the arrival time of the newest document, or the
+    /// clock-tick time for pure time advances). Expired documents are reported
+    /// oldest-first; they are **not** removed from the store — the engine does
+    /// that while processing each expiration.
+    pub fn expired(&self, store: &DocumentStore, now: Timestamp) -> Vec<DocId> {
+        match self.kind {
+            WindowKind::CountBased { size } => {
+                let excess = store.len().saturating_sub(size);
+                store.iter().take(excess).map(|d| d.id).collect()
+            }
+            WindowKind::TimeBased { duration_micros } => {
+                let cutoff = now.as_micros().saturating_sub(duration_micros);
+                store
+                    .iter()
+                    .take_while(|d| d.arrival.as_micros() < cutoff)
+                    .map(|d| d.id)
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether a document that arrived at `arrival` is still valid at `now`
+    /// under this policy, ignoring the count constraint (which depends on the
+    /// store, not the document alone).
+    pub fn is_fresh(&self, arrival: Timestamp, now: Timestamp) -> bool {
+        match self.kind {
+            WindowKind::CountBased { .. } => true,
+            WindowKind::TimeBased { duration_micros } => {
+                arrival.as_micros() >= now.as_micros().saturating_sub(duration_micros)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use cts_text::{TermId, WeightedVector};
+
+    fn doc(id: u64, arrival_ms: u64) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(arrival_ms),
+            WeightedVector::from_weights([(TermId(0), 1.0)]),
+        )
+    }
+
+    #[test]
+    fn count_based_window_expires_excess_oldest_first() {
+        let w = SlidingWindow::count_based(3);
+        let mut store = DocumentStore::new();
+        for i in 0..5 {
+            store.push(doc(i, i));
+        }
+        let expired = w.expired(&store, Timestamp::from_millis(4));
+        assert_eq!(expired, vec![DocId(0), DocId(1)]);
+    }
+
+    #[test]
+    fn count_based_window_with_room_expires_nothing() {
+        let w = SlidingWindow::count_based(10);
+        let mut store = DocumentStore::new();
+        store.push(doc(0, 0));
+        assert!(w.expired(&store, Timestamp::ZERO).is_empty());
+    }
+
+    #[test]
+    fn time_based_window_expires_stale_documents() {
+        let w = SlidingWindow::time_based(Duration::from_millis(100));
+        let mut store = DocumentStore::new();
+        store.push(doc(0, 0));
+        store.push(doc(1, 50));
+        store.push(doc(2, 120));
+        store.push(doc(3, 160));
+        // At t=170ms the cutoff is 70ms: documents 0 and 1 expire.
+        let expired = w.expired(&store, Timestamp::from_millis(170));
+        assert_eq!(expired, vec![DocId(0), DocId(1)]);
+    }
+
+    #[test]
+    fn time_based_window_boundary_is_inclusive_for_documents_exactly_at_cutoff() {
+        let w = SlidingWindow::time_based(Duration::from_millis(100));
+        let mut store = DocumentStore::new();
+        store.push(doc(0, 100));
+        // cutoff = 200 - 100 = 100; arrival 100 is NOT strictly below the
+        // cutoff, so the document is still valid.
+        assert!(w.expired(&store, Timestamp::from_millis(200)).is_empty());
+        // One microsecond later it expires.
+        let expired = w.expired(&store, Timestamp::from_micros(200_001));
+        assert_eq!(expired, vec![DocId(0)]);
+    }
+
+    #[test]
+    fn is_fresh_matches_expiration_rule() {
+        let w = SlidingWindow::time_based(Duration::from_secs(1));
+        assert!(w.is_fresh(Timestamp::from_secs(9), Timestamp::from_secs(10)));
+        assert!(!w.is_fresh(Timestamp::from_secs(8), Timestamp::from_secs(10)));
+        let c = SlidingWindow::count_based(5);
+        assert!(c.is_fresh(Timestamp::ZERO, Timestamp::from_secs(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_count_window_is_rejected() {
+        let _ = SlidingWindow::count_based(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window duration must be positive")]
+    fn zero_duration_window_is_rejected() {
+        let _ = SlidingWindow::time_based(Duration::ZERO);
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        let w = SlidingWindow::count_based(7);
+        assert_eq!(w.kind(), WindowKind::CountBased { size: 7 });
+        let t = SlidingWindow::time_based(Duration::from_secs(2));
+        assert_eq!(
+            t.kind(),
+            WindowKind::TimeBased {
+                duration_micros: 2_000_000
+            }
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! The analysis pipeline: raw text → [`TermVector`].
+//!
+//! An [`Analyzer`] chains the [`Tokenizer`], [`StopWords`] filter and
+//! [`PorterStemmer`] and interns the surviving terms in a [`Dictionary`].
+//! This mirrors the "standard stopword removal" preprocessing of the paper's
+//! experimental setup and is what both the corpus generator (for real text)
+//! and the examples use to turn strings into the term-id world that the
+//! engine operates in.
+
+use crate::dictionary::Dictionary;
+use crate::stem::PorterStemmer;
+use crate::stopwords::StopWords;
+use crate::token::Tokenizer;
+use crate::vector::TermVector;
+
+/// A configurable text-analysis pipeline.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    tokenizer: Tokenizer,
+    stopwords: StopWords,
+    stemmer: Option<PorterStemmer>,
+}
+
+impl Analyzer {
+    /// The standard English pipeline: default tokenizer, English stop words,
+    /// Porter stemming.
+    pub fn english() -> Self {
+        Self {
+            tokenizer: Tokenizer::new(),
+            stopwords: StopWords::english(),
+            stemmer: Some(PorterStemmer::new()),
+        }
+    }
+
+    /// A pipeline with no stop-word removal and no stemming; only
+    /// tokenisation and lower-casing are applied.
+    pub fn plain() -> Self {
+        Self {
+            tokenizer: Tokenizer::new(),
+            stopwords: StopWords::none(),
+            stemmer: None,
+        }
+    }
+
+    /// Builds an analyzer from explicit components.
+    pub fn new(tokenizer: Tokenizer, stopwords: StopWords, stemmer: Option<PorterStemmer>) -> Self {
+        Self {
+            tokenizer,
+            stopwords,
+            stemmer,
+        }
+    }
+
+    /// Analyses `text`: tokenise, filter stop words, stem, intern, count.
+    /// Terms are interned into `dict` (new terms extend the dictionary), and
+    /// the dictionary's per-term statistics are **not** updated — call
+    /// [`Analyzer::analyze_document`] for that.
+    pub fn analyze(&self, text: &str, dict: &mut Dictionary) -> TermVector {
+        let mut vector = TermVector::new();
+        let mut tokens = Vec::new();
+        self.tokenizer.tokenize_into(text, &mut tokens);
+        for token in &tokens {
+            let word = token.as_str();
+            if self.stopwords.contains(word) {
+                continue;
+            }
+            let id = match &self.stemmer {
+                Some(stemmer) => {
+                    let stemmed = stemmer.stem(word);
+                    dict.intern(&stemmed)
+                }
+                None => dict.intern(word),
+            };
+            vector.add(id);
+        }
+        vector
+    }
+
+    /// Analyses a *document*: like [`Analyzer::analyze`], but also records the
+    /// document's term occurrences in the dictionary statistics (document and
+    /// collection frequency), which IDF-style weighting models consume.
+    pub fn analyze_document(&self, text: &str, dict: &mut Dictionary) -> TermVector {
+        let vector = self.analyze(text, dict);
+        for (term, count) in vector.iter() {
+            dict.record_occurrences(term, u64::from(count));
+        }
+        vector
+    }
+
+    /// Analyses a *query string*. Identical to [`Analyzer::analyze`]; provided
+    /// for call-site clarity (queries never update dictionary statistics).
+    pub fn analyze_query(&self, text: &str, dict: &mut Dictionary) -> TermVector {
+        self.analyze(text, dict)
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::english()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_filters_and_stems() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        let v = a.analyze("The markets are monitoring the weapons reports", &mut dict);
+        // "the", "are" removed; "markets"→"market", "monitoring"→"monitor",
+        // "weapons"→"weapon", "reports"→"report".
+        let terms: Vec<&str> = v.iter().map(|(t, _)| dict.term(t).unwrap()).collect();
+        assert!(terms.contains(&"market"));
+        assert!(terms.contains(&"monitor"));
+        assert!(terms.contains(&"weapon"));
+        assert!(terms.contains(&"report"));
+        assert!(!terms.contains(&"the"));
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn repeated_terms_are_counted() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        let v = a.analyze("white white tower", &mut dict);
+        let white = dict.lookup("white").unwrap();
+        let tower = dict.lookup("tower").unwrap();
+        assert_eq!(v.frequency(white), 2);
+        assert_eq!(v.frequency(tower), 1);
+    }
+
+    #[test]
+    fn plain_pipeline_keeps_stopwords_and_inflections() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::plain();
+        let v = a.analyze("the markets", &mut dict);
+        assert!(dict.lookup("the").is_some());
+        assert!(dict.lookup("markets").is_some());
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn inflections_map_to_same_term_id() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        let v1 = a.analyze("explosive", &mut dict);
+        let v2 = a.analyze("explosives", &mut dict);
+        let id1: Vec<_> = v1.iter().map(|(t, _)| t).collect();
+        let id2: Vec<_> = v2.iter().map(|(t, _)| t).collect();
+        assert_eq!(id1, id2);
+    }
+
+    #[test]
+    fn analyze_document_updates_dictionary_stats() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        a.analyze_document("market market crash", &mut dict);
+        a.analyze_document("market recovery", &mut dict);
+        let market = dict.lookup("market").unwrap();
+        let stats = dict.stats(market).unwrap();
+        assert_eq!(stats.document_frequency, 2);
+        assert_eq!(stats.collection_frequency, 3);
+    }
+
+    #[test]
+    fn analyze_query_does_not_update_stats() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        a.analyze_query("market crash", &mut dict);
+        let market = dict.lookup("market").unwrap();
+        assert_eq!(dict.stats(market).unwrap().document_frequency, 0);
+    }
+
+    #[test]
+    fn empty_and_stopword_only_text_yields_empty_vector() {
+        let mut dict = Dictionary::new();
+        let a = Analyzer::english();
+        assert!(a.analyze("", &mut dict).is_empty());
+        assert!(a.analyze("the of and to", &mut dict).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Term dictionary: interning of terms into dense [`TermId`]s.
+//!
+//! Every distinct (post-analysis) term in the system is assigned a dense
+//! integer id. The engine, index and corpus crates operate exclusively on
+//! `TermId`s; the dictionary is the single place where term strings live.
+//! A realistic dictionary for a newswire stream holds on the order of
+//! 100,000–200,000 terms (the paper's WSJ dictionary has 181,978), so lookups
+//! must be cheap and the per-term overhead small.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of an interned term.
+///
+/// Internally a `u32`, which comfortably covers realistic dictionary sizes
+/// (the paper's WSJ dictionary has 181,978 terms) while keeping postings and
+/// composition lists compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Per-term statistics tracked by the dictionary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermStats {
+    /// Number of documents this term has been observed in (monotonic; not
+    /// decremented on expiration — it reflects the whole history seen so far
+    /// and is only used for reporting and for IDF-style weighting models).
+    pub document_frequency: u64,
+    /// Total number of occurrences observed across all documents.
+    pub collection_frequency: u64,
+}
+
+/// A bidirectional term ↔ id mapping with per-term statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_term: HashMap<Box<str>, TermId>,
+    terms: Vec<Box<str>>,
+    stats: Vec<TermStats>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_term: HashMap::with_capacity(n),
+            terms: Vec::with_capacity(n),
+            stats: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `term`, returning its id. Existing terms return their existing
+    /// id; new terms are appended.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary exceeds u32 terms"));
+        let boxed: Box<str> = term.into();
+        self.by_term.insert(boxed.clone(), id);
+        self.terms.push(boxed);
+        self.stats.push(TermStats::default());
+        id
+    }
+
+    /// Looks up the id of `term` without interning it.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Returns the term string for `id`, if it exists.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(|t| t.as_ref())
+    }
+
+    /// Returns the statistics recorded for `id`.
+    pub fn stats(&self, id: TermId) -> Option<TermStats> {
+        self.stats.get(id.index()).copied()
+    }
+
+    /// Records that `id` occurred `count` times in one (new) document.
+    pub fn record_occurrences(&mut self, id: TermId, count: u64) {
+        if let Some(s) = self.stats.get_mut(id.index()) {
+            s.document_frequency += 1;
+            s.collection_frequency += count;
+        }
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(TermId, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_ref()))
+    }
+
+    /// Total number of term occurrences recorded across all documents.
+    pub fn total_collection_frequency(&self) -> u64 {
+        self.stats.iter().map(|s| s.collection_frequency).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("tower");
+        let b = d.intern("white");
+        let a2 = d.intern("tower");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_insertion() {
+        let mut d = Dictionary::new();
+        for (i, t) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            let id = d.intern(t);
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert!(d.lookup("missing").is_none());
+        assert_eq!(d.len(), 0);
+        d.intern("present");
+        assert!(d.lookup("present").is_some());
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("explosives");
+        assert_eq!(d.term(id), Some("explosives"));
+        assert_eq!(d.term(TermId(999)), None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Dictionary::new();
+        let id = d.intern("market");
+        d.record_occurrences(id, 3);
+        d.record_occurrences(id, 2);
+        let s = d.stats(id).unwrap();
+        assert_eq!(s.document_frequency, 2);
+        assert_eq!(s.collection_frequency, 5);
+        assert_eq!(d.total_collection_frequency(), 5);
+    }
+
+    #[test]
+    fn iter_yields_all_terms() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        let collected: Vec<_> = d.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TermId(11).to_string(), "t11");
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let d = Dictionary::with_capacity(1000);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Similarity evaluation and the total-order weight wrapper.
+//!
+//! The similarity of a document to a query is the sparse dot product of their
+//! weighted vectors (`S(d|Q) = Σ_{t∈Q} w_{Q,t} · w_{d,t}`). This module also
+//! provides [`Weight`], a `f64` wrapper with a total order that rejects NaN
+//! at construction — impact weights, local thresholds and scores are all kept
+//! in ordered collections (inverted lists, threshold trees, result sets), so
+//! a well-defined `Ord` is essential.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::WeightedVector;
+
+/// Computes the sparse dot product of two weighted vectors.
+///
+/// Both vectors are sorted by term id, so this is a linear merge. The query
+/// side is conventionally the first argument but the operation is symmetric.
+pub fn dot_product(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    let xs = a.as_slice();
+    let ys = b.as_slice();
+    let mut i = 0;
+    let mut j = 0;
+    let mut acc = 0.0;
+    while i < xs.len() && j < ys.len() {
+        match xs[i].term.cmp(&ys[j].term) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                acc += xs[i].weight * ys[j].weight;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// A finite, non-NaN `f64` with a total order.
+///
+/// Construction via [`Weight::new`] panics on NaN (a NaN weight is always a
+/// programming error upstream — weights come from normalised term
+/// frequencies); [`Weight::try_new`] is available for fallible conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Weight(f64);
+
+impl Weight {
+    /// The zero weight.
+    pub const ZERO: Weight = Weight(0.0);
+
+    /// Wraps `value`, panicking if it is NaN.
+    pub fn new(value: f64) -> Self {
+        Self::try_new(value).expect("weight must not be NaN")
+    }
+
+    /// Wraps `value`, returning `None` if it is NaN.
+    pub fn try_new(value: f64) -> Option<Self> {
+        if value.is_nan() {
+            None
+        } else {
+            Some(Weight(value))
+        }
+    }
+
+    /// Returns the inner `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two weights.
+    pub fn max(self, other: Weight) -> Weight {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two weights.
+    pub fn min(self, other: Weight) -> Weight {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Neither side can be NaN by construction.
+        self.0.partial_cmp(&other.0).expect("weights are not NaN")
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+impl From<Weight> for f64 {
+    fn from(w: Weight) -> f64 {
+        w.0
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+    fn add(self, rhs: Weight) -> Weight {
+        Weight::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Weight {
+    type Output = Weight;
+    fn sub(self, rhs: Weight) -> Weight {
+        Weight::new(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::WeightedVector;
+    use crate::TermId;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    #[test]
+    fn dot_product_of_disjoint_vectors_is_zero() {
+        let a = WeightedVector::from_weights([(t(0), 0.5), (t(1), 0.5)]);
+        let b = WeightedVector::from_weights([(t(2), 0.9)]);
+        assert_eq!(dot_product(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn dot_product_matches_manual_computation() {
+        let q = WeightedVector::from_weights([(t(11), 0.447), (t(20), 0.894)]);
+        let d = WeightedVector::from_weights([(t(11), 0.16), (t(20), 0.10), (t(30), 0.5)]);
+        let expected = 0.447 * 0.16 + 0.894 * 0.10;
+        assert!((dot_product(&q, &d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product_is_symmetric() {
+        let a = WeightedVector::from_weights([(t(1), 0.3), (t(4), 0.7)]);
+        let b = WeightedVector::from_weights([(t(1), 0.2), (t(3), 0.8), (t(4), 0.1)]);
+        assert!((dot_product(&a, &b) - dot_product(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_product_with_empty_is_zero() {
+        let a = WeightedVector::from_weights([(t(1), 0.3)]);
+        assert_eq!(dot_product(&a, &WeightedVector::new()), 0.0);
+        assert_eq!(dot_product(&WeightedVector::new(), &a), 0.0);
+    }
+
+    #[test]
+    fn weight_ordering_is_total() {
+        let mut ws = vec![Weight::new(0.3), Weight::new(-1.0), Weight::new(2.5), Weight::ZERO];
+        ws.sort();
+        let raw: Vec<f64> = ws.into_iter().map(Weight::get).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 0.3, 2.5]);
+    }
+
+    #[test]
+    fn weight_rejects_nan() {
+        assert!(Weight::try_new(f64::NAN).is_none());
+        assert!(Weight::try_new(1.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn weight_new_panics_on_nan() {
+        let _ = Weight::new(f64::NAN);
+    }
+
+    #[test]
+    fn weight_arithmetic_and_minmax() {
+        let a = Weight::new(0.25);
+        let b = Weight::new(0.5);
+        assert_eq!((a + b).get(), 0.75);
+        assert_eq!((b - a).get(), 0.25);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn weight_display_is_stable() {
+        assert_eq!(Weight::new(0.1).to_string(), "0.100000");
+    }
+}

@@ -1,0 +1,259 @@
+//! Tokenisation of raw text into lower-cased word tokens.
+//!
+//! The tokenizer splits on any character that is not alphanumeric, folds
+//! ASCII upper-case to lower-case, and optionally drops purely-numeric and
+//! very short/long tokens. It is deliberately simple and allocation-light:
+//! iteration borrows from the input string and only the final token text is
+//! materialised (lower-cased) when the caller asks for it.
+
+use std::borrow::Cow;
+
+/// A single token produced by the [`Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, lower-cased. Borrowed when the source was already
+    /// lower-case ASCII, owned otherwise.
+    pub text: Cow<'a, str>,
+    /// Byte offset of the token start in the original input.
+    pub offset: usize,
+    /// Ordinal position of the token in the token stream (0-based).
+    pub position: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Returns the token text as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Configuration and entry point for tokenisation.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Minimum token length (in characters) to emit. Shorter tokens are dropped.
+    pub min_len: usize,
+    /// Maximum token length (in characters) to emit. Longer tokens are dropped.
+    pub max_len: usize,
+    /// Whether tokens consisting only of ASCII digits are dropped.
+    pub drop_numeric: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            min_len: 2,
+            max_len: 40,
+            drop_numeric: true,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the default settings (length 2..=40, numeric
+    /// tokens dropped), matching common IR preprocessing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a permissive tokenizer that keeps every alphanumeric run,
+    /// including single characters and numbers.
+    pub fn permissive() -> Self {
+        Self {
+            min_len: 1,
+            max_len: usize::MAX,
+            drop_numeric: false,
+        }
+    }
+
+    /// Tokenises `input`, returning the accepted tokens in order.
+    pub fn tokenize<'a>(&self, input: &'a str) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        self.tokenize_into(input, &mut out);
+        out
+    }
+
+    /// Tokenises `input`, appending accepted tokens to `out` (which is cleared
+    /// first). Reusing the output vector avoids per-call allocation in hot
+    /// loops.
+    pub fn tokenize_into<'a>(&self, input: &'a str, out: &mut Vec<Token<'a>>) {
+        out.clear();
+        let bytes = input.as_bytes();
+        let mut position = 0usize;
+        let mut start: Option<usize> = None;
+        // Walk char boundaries; alphanumeric runs form candidate tokens.
+        let mut iter = input.char_indices().peekable();
+        while let Some((idx, ch)) = iter.next() {
+            let is_word = ch.is_alphanumeric();
+            if is_word && start.is_none() {
+                start = Some(idx);
+            }
+            let at_end = iter.peek().is_none();
+            if (!is_word || at_end) && start.is_some() {
+                let begin = start.take().expect("start set");
+                let end = if is_word && at_end {
+                    input.len()
+                } else {
+                    idx
+                };
+                if let Some(tok) = self.make_token(input, bytes, begin, end, position) {
+                    out.push(tok);
+                    position += 1;
+                }
+                // If the run was terminated by a non-word char we simply move on.
+            }
+        }
+    }
+
+    fn make_token<'a>(
+        &self,
+        input: &'a str,
+        bytes: &[u8],
+        begin: usize,
+        end: usize,
+        position: usize,
+    ) -> Option<Token<'a>> {
+        let raw = &input[begin..end];
+        let char_len = raw.chars().count();
+        if char_len < self.min_len || char_len > self.max_len {
+            return None;
+        }
+        if self.drop_numeric && raw.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        // Fast path: already lower-case ASCII → borrow.
+        let needs_fold = bytes[begin..end]
+            .iter()
+            .any(|b| b.is_ascii_uppercase() || !b.is_ascii());
+        let text = if needs_fold {
+            Cow::Owned(raw.to_lowercase())
+        } else {
+            Cow::Borrowed(raw)
+        };
+        Some(Token {
+            text,
+            offset: begin,
+            position,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts<'a>(tokens: &'a [Token<'a>]) -> Vec<&'a str> {
+        tokens.iter().map(|t| t.as_str()).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Weapons of mass-destruction, reported!");
+        assert_eq!(
+            texts(&toks),
+            vec!["weapons", "of", "mass", "destruction", "reported"]
+        );
+    }
+
+    #[test]
+    fn lowercases_tokens() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Wall Street JOURNAL");
+        assert_eq!(texts(&toks), vec!["wall", "street", "journal"]);
+    }
+
+    #[test]
+    fn borrowed_when_already_lowercase_ascii() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("simple lowercase words");
+        assert!(toks
+            .iter()
+            .all(|tok| matches!(tok.text, Cow::Borrowed(_))));
+    }
+
+    #[test]
+    fn owned_when_case_folding_needed() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Mixed");
+        assert!(matches!(toks[0].text, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn drops_single_characters_by_default() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("a b c word");
+        assert_eq!(texts(&toks), vec!["word"]);
+    }
+
+    #[test]
+    fn drops_numeric_tokens_by_default() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("profits rose 1992 by 12 percent");
+        assert_eq!(texts(&toks), vec!["profits", "rose", "by", "percent"]);
+    }
+
+    #[test]
+    fn keeps_alphanumeric_mixtures() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("boeing 747s and b2b deals");
+        assert_eq!(texts(&toks), vec!["boeing", "747s", "and", "b2b", "deals"]);
+    }
+
+    #[test]
+    fn permissive_keeps_everything() {
+        let t = Tokenizer::permissive();
+        let toks = t.tokenize("a 1 22 xyz");
+        assert_eq!(texts(&toks), vec!["a", "1", "22", "xyz"]);
+    }
+
+    #[test]
+    fn handles_unicode_words() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Zürich café économie");
+        assert_eq!(texts(&toks), vec!["zürich", "café", "économie"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   \t\n ").is_empty());
+        assert!(t.tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn offsets_and_positions_are_recorded() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("alpha beta");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].offset, 6);
+        assert_eq!(toks[1].position, 1);
+    }
+
+    #[test]
+    fn token_at_end_of_input_is_emitted() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("trailing token");
+        assert_eq!(texts(&toks), vec!["trailing", "token"]);
+    }
+
+    #[test]
+    fn overlong_tokens_are_dropped() {
+        let mut t = Tokenizer::new();
+        t.max_len = 5;
+        let toks = t.tokenize("short elongatedword tiny");
+        assert_eq!(texts(&toks), vec!["short", "tiny"]);
+    }
+
+    #[test]
+    fn tokenize_into_reuses_buffer() {
+        let t = Tokenizer::new();
+        let mut buf = Vec::new();
+        t.tokenize_into("first call here", &mut buf);
+        assert_eq!(buf.len(), 3);
+        t.tokenize_into("second", &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].as_str(), "second");
+    }
+}
