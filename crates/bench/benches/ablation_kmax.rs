@@ -1,1 +1,12 @@
-fn main() {}
+//! Planned ablation: the naïve baseline's `k_max` buffer factor (Yi et al.).
+//! Larger buffers amortise more expirations before a full rescan but make
+//! every arrival pay more; this sweep will chart that trade-off. Not
+//! implemented yet; `NaiveEngine::recomputations` already exposes the rescan
+//! counter the sweep will report.
+
+fn main() {
+    eprintln!(
+        "ablation_kmax: not implemented yet — NaiveConfig::kmax_factor and \
+         NaiveEngine::recomputations() are the knobs and metric it will sweep."
+    );
+}

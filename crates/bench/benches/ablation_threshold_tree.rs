@@ -1,1 +1,12 @@
-fn main() {}
+//! Planned ablation: threshold-tree probes vs. scanning every query's local
+//! threshold on each arrival (§III-B). Measures what the per-list trees buy
+//! as the query population grows. Not implemented yet; the tree's raw probe
+//! cost is covered by `cargo bench --bench index_micro`
+//! (`threshold_tree/probe`).
+
+fn main() {
+    eprintln!(
+        "ablation_threshold_tree: not implemented yet — see \
+         `cargo bench --bench index_micro` for the raw probe cost."
+    );
+}

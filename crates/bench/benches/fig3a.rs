@@ -1,1 +1,8 @@
-fn main() {}
+//! Placeholder bench target for the Figure 3(a) sweep. The actual harness
+//! lives in (and is documented by) the `fig3a` binary: `cargo run --bin
+//! fig3a`. This target exists so `cargo bench` enumerates the planned
+//! figure reproductions.
+
+fn main() {
+    eprintln!("fig3a: no criterion measurements yet — run `cargo run -p cts-bench --bin fig3a`.");
+}

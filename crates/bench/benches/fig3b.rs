@@ -1,1 +1,8 @@
-fn main() {}
+//! Placeholder bench target for the Figure 3(b) sweep. The actual harness
+//! lives in (and is documented by) the `fig3b` binary: `cargo run --bin
+//! fig3b`. This target exists so `cargo bench` enumerates the planned
+//! figure reproductions.
+
+fn main() {
+    eprintln!("fig3b: no criterion measurements yet — run `cargo run -p cts-bench --bin fig3b`.");
+}

@@ -1,1 +1,22 @@
-fn main() {}
+//! Reproduction harness for the paper's Figure 3(a): mean processing time
+//! per stream event, ITA vs the top-`k_max` naïve baseline, as the number of
+//! installed continuous queries grows.
+//!
+//! The full sweep (1,000 queries over the WSJ-scale corpus) is future work;
+//! this binary currently documents the experiment and runs nothing.
+
+fn main() {
+    eprintln!(
+        "fig3a: reproduction of Figure 3(a) — processing time vs. number of queries.\n\
+         \n\
+         Planned sweep: register N ∈ {{100, 250, 500, 1000}} continuous queries\n\
+         (k = 10, 10 terms each) against a 200 docs/s Poisson stream over the\n\
+         synthetic WSJ-like corpus (DESIGN.md §3), then report the mean event\n\
+         processing time of ItaEngine and NaiveEngine via cts_core::Monitor.\n\
+         \n\
+         The sweep harness is not implemented yet. In the meantime:\n\
+           cargo bench --bench index_micro        # index-layer hot paths\n\
+           cargo bench --bench ablation_rollup    # ITA roll-up on/off\n\
+           cargo test  -p cts-core                # cross-engine validation"
+    );
+}

@@ -1,1 +1,23 @@
-fn main() {}
+//! Reproduction harness for the paper's Figure 3(b): mean processing time
+//! per stream event, ITA vs the top-`k_max` naïve baseline, as the sliding
+//! window grows.
+//!
+//! The full sweep is future work; this binary currently documents the
+//! experiment and runs nothing.
+
+fn main() {
+    eprintln!(
+        "fig3b: reproduction of Figure 3(b) — processing time vs. window size.\n\
+         \n\
+         Planned sweep: fix 1,000 continuous queries (k = 10) and vary the\n\
+         count-based window N ∈ {{10k, 20k, 40k, 80k}} documents (plus the\n\
+         time-based equivalents) on the 200 docs/s synthetic stream, reporting\n\
+         the mean event processing time of ItaEngine and NaiveEngine via\n\
+         cts_core::Monitor.\n\
+         \n\
+         The sweep harness is not implemented yet. In the meantime:\n\
+           cargo bench --bench index_micro        # index-layer hot paths\n\
+           cargo bench --bench ablation_rollup    # ITA roll-up on/off\n\
+           cargo test  -p cts-core                # cross-engine validation"
+    );
+}

@@ -1,0 +1,278 @@
+//! An offline, API-compatible subset of
+//! [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the pieces the workspace's benchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! straightforward warm-up + timed-batch loop reporting mean and best
+//! per-iteration times; it has none of real criterion's statistics, but the
+//! numbers are honest wall-clock measurements and the harness keeps
+//! `cargo bench` working end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard library's optimisation barrier, matching
+/// `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    #[default]
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each registered benchmark function.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1_200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up time (builder style, like real criterion).
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warmup = duration;
+        self
+    }
+
+    /// Sets the measurement time (builder style, like real criterion).
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark: `routine` receives a [`Bencher`] and must call one
+    /// of its `iter*` methods.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(report) => {
+                println!(
+                    "{id:<40} time: [mean {:>12} | best {:>12}]  ({} iterations)",
+                    format_duration(report.mean),
+                    format_duration(report.best),
+                    report.iterations,
+                );
+            }
+            None => println!("{id:<40} (no measurement: Bencher::iter was never called)"),
+        }
+        self
+    }
+}
+
+struct Report {
+    mean: Duration,
+    best: Duration,
+    iterations: u64,
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine` by calling it repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters.max(1)).unwrap_or(u32::MAX);
+
+        // Measurement: batches of ~10ms, tracked individually so the best
+        // batch approximates the noise floor.
+        let batch = batch_size(per_iter);
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        let mut best = Duration::MAX;
+        while total < self.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += batch;
+            let per = elapsed / u32::try_from(batch).unwrap_or(u32::MAX);
+            if per < best {
+                best = per;
+            }
+        }
+        self.report = Some(Report {
+            mean: total / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX),
+            best,
+            iterations,
+        });
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            warm_iters += 1;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        let mut best = Duration::MAX;
+        while total < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += 1;
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        self.report = Some(Report {
+            mean: total / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX),
+            best,
+            iterations,
+        });
+    }
+}
+
+fn batch_size(per_iter: Duration) -> u64 {
+    let target = Duration::from_millis(10).as_nanos();
+    let per = per_iter.as_nanos().max(1);
+    (target / per).clamp(1, 1_000_000) as u64
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); none apply here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        let mut c = fast();
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_outside_measurement() {
+        let mut c = fast();
+        c.bench_function("sort", |b| {
+            b.iter_batched(
+                || vec![3u32, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn black_box_returns_its_input() {
+        assert_eq!(black_box(7u8), 7);
+    }
+
+    #[test]
+    fn batch_size_is_bounded() {
+        assert_eq!(batch_size(Duration::from_secs(1)), 1);
+        assert!(batch_size(Duration::from_nanos(1)) <= 1_000_000);
+    }
+
+    #[test]
+    fn format_duration_picks_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

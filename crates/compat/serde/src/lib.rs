@@ -1,0 +1,395 @@
+//! An offline, API-compatible subset of [`serde`](https://docs.rs/serde).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the surface it actually uses: derivable
+//! [`Serialize`] / [`Deserialize`] traits and a self-describing [`Value`]
+//! tree that `serde_json` (also vendored) renders to and parses from JSON.
+//!
+//! Design differences from real serde, chosen to keep the vendored code
+//! small while preserving observable behaviour:
+//!
+//! * Serialisation goes through an owned [`Value`] tree instead of a
+//!   streaming `Serializer`; fine for configs and test fixtures, which is
+//!   the only serialisation this workspace performs.
+//! * Newtype structs (`struct Weight(f64)`) always serialise transparently
+//!   as their inner value, so `#[serde(transparent)]` is honoured by
+//!   default (the attribute is accepted and ignored).
+//! * Enums use externally-tagged representation, like serde's default.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are re-exported
+//! from the vendored `serde_derive` proc-macro crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value (the vendored analogue of
+/// `serde_json::Value`, shared by all data formats).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / `None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (used for negative integers).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field or variant names).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of a [`Value::Map`].
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected a map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up an element of a [`Value::Seq`].
+    pub fn item(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Seq(items) => items
+                .get(index)
+                .ok_or_else(|| Error(format!("missing sequence element {index}"))),
+            other => Err(Error(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A (de)serialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialises `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialises an instance from `value`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error(format!(
+                            "expected an unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error(format!("integer {u} out of range for i64")))?,
+                    other => {
+                        return Err(Error(format!(
+                            "expected an integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error(format!("expected a number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected a bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected a string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(Error(format!(
+                "expected a 2-element sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => Err(Error(format!(
+                "expected a 3-element sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()), Ok(Some(5)));
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()), Ok(None));
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 0.25)];
+        let val = v.serialize();
+        assert_eq!(Vec::<(u32, f64)>::deserialize(&val), Ok(v));
+    }
+
+    #[test]
+    fn integers_check_ranges() {
+        let big = Value::UInt(u64::MAX);
+        assert!(u8::deserialize(&big).is_err());
+        assert!(u64::deserialize(&big).is_ok());
+        let neg = Value::Int(-1);
+        assert!(u32::deserialize(&neg).is_err());
+        assert_eq!(i32::deserialize(&neg), Ok(-1));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let map = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert!(map.field("a").is_ok());
+        let err = map.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+        assert!(Value::Null.field("a").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_errors_name_the_kind() {
+        let err = bool::deserialize(&Value::UInt(1)).unwrap_err();
+        assert!(err.to_string().contains("expected a bool"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The build environment has no access to crates.io, so these derives are
+//! written against `proc_macro` alone — no `syn`, no `quote`. They support
+//! exactly the item shapes this workspace uses:
+//!
+//! * unit structs, tuple structs and named-field structs;
+//! * enums with unit, tuple and struct variants;
+//! * no generic parameters (a clear compile error is emitted if present).
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored: newtype
+//! structs already serialise transparently (covering `#[serde(transparent)]`)
+//! and enums use serde's default externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum` item.
+enum Shape {
+    Unit(String),
+    Tuple(String, usize),
+    Named(String, Vec<String>),
+    Enum(String, Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected an item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            None => Ok(Shape::Unit(name)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit(name)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::Tuple(name, count_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Named(name, named_fields(g.stream())?))
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum(name, variants(g.stream())?))
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for a `{other}` item")),
+    }
+}
+
+/// Splits `stream` into segments separated by commas that sit outside any
+/// `<...>` nesting (delimited groups are single tokens, so only angle
+/// brackets need explicit tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("nonempty").push(tree);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts the leading identifier of a field/variant segment, skipping
+/// attributes and visibility.
+fn leading_ident(segment: &[TokenTree]) -> Result<(String, usize), String> {
+    let mut i = 0;
+    while i < segment.len() {
+        match &segment[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = segment.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Ok((id.to_string(), i)),
+            other => return Err(format!("unexpected token in field list: {other:?}")),
+        }
+    }
+    Err("empty field segment".into())
+}
+
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .iter()
+        .map(|seg| leading_ident(seg).map(|(name, _)| name))
+        .collect()
+}
+
+fn variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .iter()
+        .map(|seg| {
+            let (name, idx) = leading_ident(seg)?;
+            let kind = match seg.get(idx + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(named_fields(g.stream())?)
+                }
+                _ => VariantKind::Unit,
+            };
+            Ok(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::Unit(name) => (name, "::serde::Value::Null".to_string()),
+        Shape::Tuple(name, 1) => (name, "::serde::Serialize::serialize(&self.0)".to_string()),
+        Shape::Tuple(name, arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::Named(name, fields) => (name, map_of_fields(fields, |f| format!("&self.{f}"))),
+        Shape::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inner = map_of_fields(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Builds a `Value::Map` expression over named fields; `access` renders the
+/// expression that borrows each field.
+fn map_of_fields(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::Unit(name) => (
+            name,
+            format!(
+                "match value {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"expected null for unit struct {name}, found {{}}\", other.kind()))) }}"
+            ),
+        ),
+        Shape::Tuple(name, 1) => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"),
+        ),
+        Shape::Tuple(name, arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(value.item({i})?)?"))
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name}({}))", items.join(", ")),
+            )
+        }
+        Shape::Named(name, fields) => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                fields_from_value(fields, "value")
+            ),
+        ),
+        Shape::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(inner.item({i})?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            fields_from_value(fields, "inner")
+                        )),
+                    }
+                })
+                .collect();
+            let unknown = format!(
+                "::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", other)))"
+            );
+            let str_arm = if unit_arms.is_empty() {
+                format!("::serde::Value::Str(other) => {unknown},")
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {units}\n\
+                     other => {unknown},\n\
+                     }},",
+                    units = unit_arms.join("\n"),
+                )
+            };
+            let map_arm = if tagged_arms.is_empty() {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let other = &entries[0].0;\n\
+                     {unknown}\n\
+                     }},"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n\
+                     {tagged}\n\
+                     other => {unknown},\n\
+                     }}\n\
+                     }},",
+                    tagged = tagged_arms.join("\n"),
+                )
+            };
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                     {str_arm}\n\
+                     {map_arm}\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"expected a variant of {name}, found {{}}\", other.kind()))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn fields_from_value(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::deserialize({source}.field(\"{f}\")?)?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

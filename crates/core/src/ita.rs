@@ -1,0 +1,742 @@
+//! The Incremental Threshold Algorithm (paper §III).
+//!
+//! [`ItaEngine`] maintains, for every registered query `Q`:
+//!
+//! * a result set `R` ([`crate::ResultSet`]) holding the verified top-k
+//!   **and** every other valid document lying above the query's search
+//!   frontier (the paper's *unverified* documents);
+//! * one *local threshold* `θ_{Q,t}` per query term, the impact weight down
+//!   to which the threshold search has examined the inverted list `L_t`; and
+//! * the *influence threshold* `τ = Σ_t w_{Q,t}·θ_{Q,t}`, an upper bound on
+//!   the score of any document outside `R`.
+//!
+//! The local thresholds are mirrored into per-list [`ThresholdTree`]s so that
+//! a stream event touches only the queries whose frontier it crosses:
+//!
+//! * **Registration** runs a threshold (TA-style) search down the query's
+//!   inverted lists, stopping as soon as `S_k ≥ τ` — usually after reading a
+//!   small prefix of each list.
+//! * **Arrival** of document `d` probes, for every term `t` of `d`, the
+//!   threshold tree of `L_t` for queries with `θ_{Q,t} ≤ w_{d,t}`. Only those
+//!   queries score `d`; all others provably cannot have `d` in their top-k.
+//!   When `d` enters a top-k, the freed slack (`S_k` grew, `τ` did not) is
+//!   reclaimed by *rolling up* local thresholds to the preceding list entries
+//!   and evicting unverified documents that lose all support — this is what
+//!   keeps `R` small.
+//! * **Expiration** probes the same trees; affected queries drop the expired
+//!   document from `R`, and if it was in the top-k the threshold search
+//!   *resumes* below the recorded thresholds (an incremental *refill*)
+//!   instead of restarting from the top of the lists.
+//!
+//! The engine's per-query invariant, checked by the test suite, is exactly
+//! the paper's: every valid document outside `R` scores at most
+//! `τ ≤ S_k`, so the top-k inside `R` is the true top-k.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use cts_index::{DocId, Document, InvertedIndex, QueryId, SlidingWindow, ThresholdTree, Timestamp};
+use cts_text::{TermId, Weight};
+
+use crate::engine::{Engine, EventOutcome};
+use crate::query::ContinuousQuery;
+use crate::result::{RankedDocument, ResultSet};
+
+/// Tuning knobs of the [`ItaEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItaConfig {
+    /// Whether local thresholds are rolled up (and unverified documents
+    /// evicted) when an arrival improves a query's top-k. Disabling roll-up
+    /// leaves the algorithm correct but lets result sets grow monotonically
+    /// between expirations — the ablation measured by `ablation_rollup`.
+    pub enable_rollup: bool,
+}
+
+impl Default for ItaConfig {
+    fn default() -> Self {
+        Self {
+            enable_rollup: true,
+        }
+    }
+}
+
+/// A point-in-time snapshot of one query's ITA bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ItaQueryStats {
+    /// Current size of the result set `R` (top-k plus unverified documents).
+    pub result_set_size: usize,
+    /// The current `k`-th best score `S_k` (0 when fewer than `k` results).
+    pub kth_score: f64,
+    /// The current influence threshold `τ = Σ_t w_{Q,t}·θ_{Q,t}`.
+    pub influence_threshold: f64,
+    /// Stream arrivals that crossed this query's frontier and were scored.
+    pub arrivals_examined: u64,
+    /// Expirations that crossed this query's frontier and were processed.
+    pub expirations_examined: u64,
+    /// Incremental refills performed after top-k expirations.
+    pub refills: u64,
+    /// Committed threshold roll-up steps.
+    pub rollups: u64,
+    /// Inverted-list postings scored by this query's threshold searches.
+    pub postings_examined: u64,
+}
+
+/// Per-query mutable state.
+#[derive(Debug, Clone)]
+struct QueryState {
+    query: ContinuousQuery,
+    results: ResultSet,
+    /// `⟨t, θ_{Q,t}⟩`, aligned with the query's term order.
+    thresholds: Vec<(TermId, Weight)>,
+    arrivals_examined: u64,
+    expirations_examined: u64,
+    refills: u64,
+    rollups: u64,
+    postings_examined: u64,
+}
+
+impl QueryState {
+    fn tau(&self) -> f64 {
+        self.thresholds
+            .iter()
+            .map(|(t, theta)| self.query.weight(*t).get() * theta.get())
+            .sum()
+    }
+}
+
+/// The paper's monitoring algorithm.
+#[derive(Debug, Clone)]
+pub struct ItaEngine {
+    window: SlidingWindow,
+    config: ItaConfig,
+    index: InvertedIndex,
+    /// One threshold tree per term that occurs in at least one query.
+    trees: HashMap<TermId, ThresholdTree>,
+    queries: BTreeMap<QueryId, QueryState>,
+    next_query: u32,
+    clock: Timestamp,
+}
+
+impl ItaEngine {
+    /// Creates an engine with the given sliding-window policy.
+    pub fn new(window: SlidingWindow, config: ItaConfig) -> Self {
+        Self {
+            window,
+            config,
+            index: InvertedIndex::new(),
+            trees: HashMap::new(),
+            queries: BTreeMap::new(),
+            next_query: 0,
+            clock: Timestamp::ZERO,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> ItaConfig {
+        self.config
+    }
+
+    /// The sliding-window policy in force.
+    pub fn window(&self) -> SlidingWindow {
+        self.window
+    }
+
+    /// A snapshot of `query`'s bookkeeping, if it is registered.
+    pub fn query_stats(&self, query: QueryId) -> Option<ItaQueryStats> {
+        let state = self.queries.get(&query)?;
+        Some(ItaQueryStats {
+            result_set_size: state.results.len(),
+            kth_score: state.results.kth_score(state.query.k()),
+            influence_threshold: state.tau(),
+            arrivals_examined: state.arrivals_examined,
+            expirations_examined: state.expirations_examined,
+            refills: state.refills,
+            rollups: state.rollups,
+            postings_examined: state.postings_examined,
+        })
+    }
+
+    /// The local threshold `θ_{Q,t}`, if `query` is registered and contains
+    /// `term`. Exposed for tests and benchmarks.
+    pub fn local_threshold(&self, query: QueryId, term: TermId) -> Option<Weight> {
+        self.queries
+            .get(&query)?
+            .thresholds
+            .iter()
+            .find(|(t, _)| *t == term)
+            .map(|(_, theta)| *theta)
+    }
+
+    /// Runs (or resumes) the threshold search for `qid` until `S_k ≥ τ`,
+    /// then reconciles the per-list threshold trees with the new frontier.
+    fn run_threshold_search(&mut self, qid: QueryId, register: bool) {
+        let state = self.queries.get_mut(&qid).expect("query exists");
+        let before: Vec<Weight> = state.thresholds.iter().map(|(_, theta)| *theta).collect();
+        threshold_descent(&self.index, state);
+        for ((term, after), before) in state.thresholds.iter().zip(before) {
+            let tree = self.trees.entry(*term).or_default();
+            if register {
+                tree.insert(qid, *after);
+            } else if before != *after {
+                tree.update(qid, before, *after);
+            }
+        }
+    }
+
+    /// Collects the queries whose frontier `composition` crosses: every `Q`
+    /// with `θ_{Q,t} ≤ w_{d,t}` for at least one term `t` of the document.
+    fn affected_queries(&self, composition: &cts_text::WeightedVector) -> BTreeSet<QueryId> {
+        let mut affected = BTreeSet::new();
+        for entry in composition.iter() {
+            if let Some(tree) = self.trees.get(&entry.term) {
+                for hit in tree.affected_by(Weight::new(entry.weight)) {
+                    affected.insert(hit.query);
+                }
+            }
+        }
+        affected
+    }
+
+    /// Handles the arrival side of one stream event. The document is already
+    /// in the index. Returns `(queries_touched, results_changed)`.
+    fn handle_arrival(&mut self, doc: &Document) -> (usize, usize) {
+        let affected = self.affected_queries(&doc.composition);
+        let touched = affected.len();
+        let mut changed = 0;
+        for qid in affected {
+            let state = self.queries.get_mut(&qid).expect("tree entries are live");
+            state.arrivals_examined += 1;
+            state.postings_examined += 1;
+            let score = state.query.score(&doc.composition);
+            state.results.insert(doc.id, score);
+            if state.results.is_in_top_k(doc.id, state.query.k()) {
+                changed += 1;
+                if self.config.enable_rollup {
+                    self.roll_up(qid);
+                }
+            }
+        }
+        (touched, changed)
+    }
+
+    /// Handles one expiration. The document has already been removed from
+    /// the index. Returns `(queries_touched, results_changed)`.
+    fn handle_expiration(&mut self, doc: &Document) -> (usize, usize) {
+        let affected = self.affected_queries(&doc.composition);
+        let touched = affected.len();
+        let mut changed = 0;
+        for qid in affected {
+            let state = self.queries.get_mut(&qid).expect("tree entries are live");
+            state.expirations_examined += 1;
+            if !state.results.contains(doc.id) {
+                // The document sat exactly on the frontier without having
+                // been examined; nothing to repair.
+                continue;
+            }
+            let was_top_k = state.results.is_in_top_k(doc.id, state.query.k());
+            state.results.remove(doc.id);
+            if was_top_k {
+                changed += 1;
+                state.refills += 1;
+                self.run_threshold_search(qid, false);
+            }
+        }
+        (touched, changed)
+    }
+
+    /// Rolls `qid`'s local thresholds up the lists while the resulting
+    /// influence threshold stays at or below `S_k`, evicting unverified
+    /// documents whose only support was the reclaimed band (paper §III-C).
+    fn roll_up(&mut self, qid: QueryId) {
+        let state = self.queries.get_mut(&qid).expect("query exists");
+        let k = state.query.k();
+        loop {
+            let s_k = state.results.kth_score(k);
+            let tau = state.tau();
+            // Pick the roll-up step with the largest slack reclaim that keeps
+            // τ' ≤ S_k. `lowest_above` yields the preceding list entry c_t.
+            let mut best: Option<(usize, Weight, f64)> = None;
+            for (i, (term, theta)) in state.thresholds.iter().enumerate() {
+                let Some(list) = self.index.list(*term) else {
+                    continue;
+                };
+                let Some(above) = list.lowest_above(*theta) else {
+                    continue;
+                };
+                let gain = state.query.weight(*term).get() * (above.weight - *theta).get();
+                if tau + gain <= s_k && best.as_ref().is_none_or(|(_, _, g)| gain > *g) {
+                    best = Some((i, above.weight, gain));
+                }
+            }
+            let Some((slot, new_theta, _)) = best else {
+                break;
+            };
+            let (term, old_theta) = state.thresholds[slot];
+            // Documents whose weight falls in [θ, c_t) lose this list's
+            // support; evict them unless another list still covers them.
+            let band: Vec<DocId> = self
+                .index
+                .list(term)
+                .map(|list| {
+                    list.iter_weight_range(old_theta, new_theta)
+                        .map(|p| p.doc)
+                        .collect()
+                })
+                .unwrap_or_default();
+            state.thresholds[slot].1 = new_theta;
+            for doc in band {
+                if !state.results.contains(doc) {
+                    continue;
+                }
+                let composition = &self
+                    .index
+                    .store()
+                    .get(doc)
+                    .expect("banded documents are valid")
+                    .composition;
+                let supported = state.thresholds.iter().any(|(t, theta)| {
+                    Weight::new(composition.weight(*t)) >= *theta && composition.contains(*t)
+                });
+                if !supported {
+                    debug_assert!(
+                        !state.results.is_in_top_k(doc, k),
+                        "roll-up must never evict a top-k document"
+                    );
+                    state.results.remove(doc);
+                }
+            }
+            state.rollups += 1;
+            self.trees
+                .get_mut(&term)
+                .expect("tree exists for query term")
+                .update(qid, old_theta, new_theta);
+        }
+    }
+}
+
+/// Runs the (initial or resumed) threshold search: repeatedly examines the
+/// highest-impact unexamined posting among the query's lists, maintaining
+/// `R` and the frontier, until `S_k ≥ τ` or the lists are exhausted.
+fn threshold_descent(index: &InvertedIndex, state: &mut QueryState) {
+    let k = state.query.k();
+    loop {
+        // Peek the best unexamined posting of each list (at or below the
+        // current frontier, skipping documents already in R — ties at the
+        // frontier may or may not have been examined).
+        let mut peeks: Vec<Option<cts_index::Posting>> = Vec::with_capacity(state.thresholds.len());
+        let mut tau_next = 0.0;
+        for (term, theta) in &state.thresholds {
+            let peek = index.list(*term).and_then(|list| {
+                list.iter_at_or_below(*theta)
+                    .find(|p| !state.results.contains(p.doc))
+            });
+            if let Some(p) = peek {
+                tau_next += state.query.weight(*term).get() * p.weight.get();
+            }
+            peeks.push(peek);
+        }
+
+        // Stop only when `S_k` STRICTLY exceeds the bound (or nothing is
+        // left to examine): synthetic integer term frequencies make exact
+        // score ties common, and a document tied with `S_k` at the frontier
+        // may out-rank an in-R document under the doc-id tie-break, so the
+        // search must keep going until ties are provably impossible.
+        let exhausted = peeks.iter().all(Option::is_none);
+        if exhausted || state.results.kth_score(k) > tau_next {
+            // Done: snap every local threshold to its peek frontier (every
+            // posting strictly above it is in R).
+            for ((_, theta), peek) in state.thresholds.iter_mut().zip(&peeks) {
+                *theta = peek.map(|p| p.weight).unwrap_or(Weight::ZERO);
+            }
+            return;
+        }
+
+        // Examine the whole tie group of the most promising list.
+        let (slot, posting) = peeks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, *p)))
+            .max_by(|(i, a), (j, b)| {
+                let (ta, _) = state.thresholds[*i];
+                let (tb, _) = state.thresholds[*j];
+                let ca = state.query.weight(ta).get() * a.weight.get();
+                let cb = state.query.weight(tb).get() * b.weight.get();
+                ca.partial_cmp(&cb).expect("weights are not NaN")
+            })
+            .expect("kth_score < tau_next implies an unexamined posting");
+        // Examine the full tie group at that weight so the frontier is exact:
+        // afterwards, every posting strictly above θ is guaranteed to be in R.
+        let (term, _) = state.thresholds[slot];
+        let group_weight = posting.weight;
+        let members: Vec<DocId> = index
+            .list(term)
+            .expect("peeked list exists")
+            .iter_at_or_below(group_weight)
+            .take_while(|p| p.weight == group_weight)
+            .map(|p| p.doc)
+            .collect();
+        for doc in members {
+            if state.results.contains(doc) {
+                continue;
+            }
+            let composition = &index
+                .store()
+                .get(doc)
+                .expect("indexed documents are valid")
+                .composition;
+            let score = state.query.score(composition);
+            state.results.insert(doc, score);
+            state.postings_examined += 1;
+        }
+        state.thresholds[slot].1 = group_weight;
+    }
+}
+
+impl Engine for ItaEngine {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        let thresholds = query
+            .terms()
+            .map(|(t, _)| (t, Weight::new(f64::INFINITY)))
+            .collect();
+        self.queries.insert(
+            qid,
+            QueryState {
+                query,
+                results: ResultSet::new(),
+                thresholds,
+                arrivals_examined: 0,
+                expirations_examined: 0,
+                refills: 0,
+                rollups: 0,
+                postings_examined: 0,
+            },
+        );
+        self.run_threshold_search(qid, true);
+        qid
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        let Some(state) = self.queries.remove(&query) else {
+            return false;
+        };
+        for (term, theta) in &state.thresholds {
+            if let Some(tree) = self.trees.get_mut(term) {
+                tree.remove(query, *theta);
+                if tree.is_empty() {
+                    self.trees.remove(term);
+                }
+            }
+        }
+        true
+    }
+
+    fn process_document(&mut self, doc: Document) -> EventOutcome {
+        self.clock = doc.arrival;
+        let mut outcome = EventOutcome {
+            arrived: doc.id,
+            ..EventOutcome::default()
+        };
+
+        let composition = doc.composition.clone();
+        self.index.insert_document(doc);
+        let arrival_doc = Document::new(outcome.arrived, self.clock, composition);
+        let (touched, changed) = self.handle_arrival(&arrival_doc);
+        outcome.queries_touched_by_arrival = touched;
+        outcome.results_changed += changed;
+
+        let expired = self.window.expired(self.index.store(), self.clock);
+        outcome.expired = expired.len();
+        for id in expired {
+            let doc = self
+                .index
+                .remove_document(id)
+                .expect("window reported a valid document");
+            let (touched, changed) = self.handle_expiration(&doc);
+            outcome.queries_touched_by_expiration += touched;
+            outcome.results_changed += changed;
+        }
+        outcome
+    }
+
+    fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
+        self.queries
+            .get(&query)
+            .map(|state| state.results.top(state.query.k()))
+            .unwrap_or_default()
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn num_valid_documents(&self) -> usize {
+        self.index.num_documents()
+    }
+
+    fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    fn name(&self) -> &'static str {
+        "ita"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_text::WeightedVector;
+
+    fn doc(id: u64, terms: &[(u32, f64)]) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights(terms.iter().map(|&(t, w)| (TermId(t), w))),
+        )
+    }
+
+    fn engine(window: usize) -> ItaEngine {
+        ItaEngine::new(SlidingWindow::count_based(window), ItaConfig::default())
+    }
+
+    /// The worked example of the paper's §III (Figure 2): query {white,
+    /// tower} with k = 2 over documents d1..d8.
+    fn paper_lists_engine() -> (ItaEngine, QueryId) {
+        let mut e = engine(100);
+        // L_white (term 20) and L_tower (term 11) impact entries.
+        let docs = [
+            (1, vec![(11, 0.08), (20, 0.06)]),
+            (2, vec![(11, 0.05), (20, 0.09)]),
+            (3, vec![(20, 0.04)]),
+            (5, vec![(11, 0.07)]),
+            (6, vec![(11, 0.16), (20, 0.03)]),
+            (7, vec![(11, 0.10)]),
+            (8, vec![(11, 0.05)]),
+            (9, vec![(20, 0.16)]),
+        ];
+        for (id, terms) in docs {
+            e.process_document(doc(id, &terms));
+        }
+        let q = e.register(ContinuousQuery::from_weights(
+            [(TermId(11), 0.447), (TermId(20), 0.894)],
+            2,
+        ));
+        (e, q)
+    }
+
+    fn top_ids(e: &ItaEngine, q: QueryId) -> Vec<u64> {
+        e.current_results(q).iter().map(|r| r.doc.0).collect()
+    }
+
+    fn brute_force_top(e: &ItaEngine, query: &ContinuousQuery) -> Vec<u64> {
+        let mut rs = ResultSet::new();
+        for d in e.index.store().iter() {
+            let s = query.score(&d.composition);
+            if s > 0.0 {
+                rs.insert(d.id, s);
+            }
+        }
+        rs.top(query.k()).iter().map(|r| r.doc.0).collect()
+    }
+
+    #[test]
+    fn initial_search_finds_the_true_top_k() {
+        let (e, q) = paper_lists_engine();
+        let top = e.current_results(q);
+        assert_eq!(top.len(), 2);
+        // d9 scores 0.894·0.16 ≈ 0.143; d2 scores 0.447·0.05 + 0.894·0.09 ≈ 0.103.
+        assert_eq!(top[0].doc, DocId(9));
+        assert_eq!(top[1].doc, DocId(2));
+        assert!(top[0].score > top[1].score);
+    }
+
+    #[test]
+    fn initial_search_reads_only_a_prefix() {
+        let (e, q) = paper_lists_engine();
+        let stats = e.query_stats(q).unwrap();
+        // 8 documents are valid; the threshold search must not score all of
+        // them (the paper's Figure 2 stops after 5 examinations).
+        assert!(
+            stats.postings_examined < 8,
+            "examined {}",
+            stats.postings_examined
+        );
+        assert!(stats.influence_threshold <= stats.kth_score + 1e-12);
+    }
+
+    #[test]
+    fn arrival_crossing_the_frontier_updates_the_top_k() {
+        let (mut e, q) = paper_lists_engine();
+        let out = e.process_document(doc(20, &[(20, 0.17)]));
+        assert_eq!(out.queries_touched_by_arrival, 1);
+        assert_eq!(out.results_changed, 1);
+        assert_eq!(top_ids(&e, q), vec![20, 9]);
+    }
+
+    #[test]
+    fn arrival_below_the_frontier_is_ignored() {
+        let (mut e, q) = paper_lists_engine();
+        let before = top_ids(&e, q);
+        let out = e.process_document(doc(21, &[(11, 0.001), (20, 0.001)]));
+        assert_eq!(out.queries_touched_by_arrival, 0);
+        assert_eq!(out.results_changed, 0);
+        assert_eq!(top_ids(&e, q), before);
+    }
+
+    #[test]
+    fn arrival_without_query_terms_is_ignored() {
+        let (mut e, q) = paper_lists_engine();
+        let out = e.process_document(doc(22, &[(99, 0.9)]));
+        assert_eq!(out.queries_touched_by_arrival, 0);
+        assert_eq!(top_ids(&e, q), vec![9, 2]);
+    }
+
+    #[test]
+    fn expiration_of_top_k_document_triggers_refill() {
+        let mut e = engine(3);
+        let q = e.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        e.process_document(doc(0, &[(1, 0.9)]));
+        e.process_document(doc(1, &[(1, 0.5)]));
+        e.process_document(doc(2, &[(1, 0.7)]));
+        assert_eq!(top_ids(&e, q), vec![0, 2]);
+        // Window size 3: arrival of d3 expires d0 (the best document).
+        let out = e.process_document(doc(3, &[(1, 0.1)]));
+        assert_eq!(out.expired, 1);
+        assert!(out.queries_touched_by_expiration >= 1);
+        assert_eq!(top_ids(&e, q), vec![2, 1]);
+        assert!(e.query_stats(q).unwrap().refills >= 1);
+    }
+
+    #[test]
+    fn results_track_brute_force_over_a_churning_window() {
+        let mut e = engine(10);
+        let query = ContinuousQuery::from_weights([(TermId(2), 0.6), (TermId(5), 0.8)], 3);
+        let q = e.register(query.clone());
+        for i in 0..200u64 {
+            let t1 = (i % 7) as u32;
+            let t2 = ((i * 3 + 1) % 7) as u32;
+            let w1 = 0.05 + (i % 13) as f64 * 0.03;
+            let w2 = 0.05 + (i % 5) as f64 * 0.11;
+            e.process_document(doc(i, &[(t1, w1), (t2, w2)]));
+            assert_eq!(
+                top_ids(&e, q),
+                brute_force_top(&e, &query),
+                "diverged at event {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rollup_keeps_result_sets_smaller() {
+        let mut with = ItaEngine::new(SlidingWindow::count_based(64), ItaConfig::default());
+        let mut without = ItaEngine::new(
+            SlidingWindow::count_based(64),
+            ItaConfig {
+                enable_rollup: false,
+            },
+        );
+        let query = ContinuousQuery::from_weights([(TermId(0), 1.0)], 2);
+        let qa = with.register(query.clone());
+        let qb = without.register(query);
+        for i in 0..300u64 {
+            // Steadily improving scores force frequent top-k turnover.
+            let d = doc(i, &[(0, 0.1 + (i % 50) as f64 * 0.01)]);
+            with.process_document(d.clone());
+            without.process_document(d);
+            assert_eq!(top_ids(&with, qa), top_ids(&without, qb));
+        }
+        let s_with = with.query_stats(qa).unwrap();
+        let s_without = without.query_stats(qb).unwrap();
+        assert!(s_with.rollups > 0);
+        assert_eq!(s_without.rollups, 0);
+        assert!(
+            s_with.result_set_size <= s_without.result_set_size,
+            "rollup {} vs plain {}",
+            s_with.result_set_size,
+            s_without.result_set_size
+        );
+    }
+
+    #[test]
+    fn invariant_every_document_above_a_threshold_is_in_r() {
+        let mut e = engine(20);
+        let q = e.register(ContinuousQuery::from_weights(
+            [(TermId(1), 0.5), (TermId(2), 0.5)],
+            2,
+        ));
+        for i in 0..100u64 {
+            e.process_document(doc(
+                i,
+                &[
+                    ((i % 3) as u32, 0.1 + (i % 11) as f64 * 0.05),
+                    (3 + (i % 2) as u32, 0.2),
+                ],
+            ));
+            let state = &e.queries[&q];
+            for (term, theta) in &state.thresholds {
+                if let Some(list) = e.index.list(*term) {
+                    for p in list.iter() {
+                        if p.weight > *theta {
+                            assert!(
+                                state.results.contains(p.doc),
+                                "event {i}: {} above θ={} in {} missing from R",
+                                p.doc,
+                                theta,
+                                term
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deregister_removes_tree_entries() {
+        let (mut e, q) = paper_lists_engine();
+        assert!(!e.trees.is_empty());
+        assert!(e.deregister(q));
+        assert!(!e.deregister(q));
+        assert!(e.trees.is_empty());
+        assert!(e.current_results(q).is_empty());
+        assert_eq!(e.num_queries(), 0);
+        // The stream keeps flowing without touching the removed query.
+        let out = e.process_document(doc(30, &[(20, 0.5)]));
+        assert_eq!(out.queries_touched_by_arrival, 0);
+    }
+
+    #[test]
+    fn queries_registered_on_empty_window_pick_up_arrivals() {
+        let mut e = engine(5);
+        let q = e.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 2));
+        assert!(e.current_results(q).is_empty());
+        e.process_document(doc(0, &[(7, 0.4)]));
+        e.process_document(doc(1, &[(8, 0.9)]));
+        e.process_document(doc(2, &[(7, 0.6)]));
+        assert_eq!(top_ids(&e, q), vec![2, 0]);
+    }
+
+    #[test]
+    fn fewer_than_k_matches_returns_fewer_results() {
+        let mut e = engine(5);
+        let q = e.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 3));
+        e.process_document(doc(0, &[(7, 0.4)]));
+        e.process_document(doc(1, &[(9, 0.4)]));
+        let top = e.current_results(q);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn clock_and_counts_are_reported() {
+        let mut e = engine(2);
+        assert_eq!(e.clock(), Timestamp::ZERO);
+        assert_eq!(e.name(), "ita");
+        e.process_document(doc(5, &[(0, 0.5)]));
+        assert_eq!(e.clock(), Timestamp::from_millis(5));
+        assert_eq!(e.num_valid_documents(), 1);
+    }
+}

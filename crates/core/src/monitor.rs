@@ -1,0 +1,257 @@
+//! Event timing around any [`Engine`].
+//!
+//! The paper's headline metric is *processing time per stream event*
+//! (arrival plus the expirations it triggers). [`Monitor`] wraps an engine,
+//! times every [`Engine::process_document`] call with a monotonic clock and
+//! accumulates [`ProcessingStats`]. It implements [`Engine`] itself, so a
+//! monitored engine drops into any harness unchanged.
+
+use std::time::{Duration, Instant};
+
+use cts_index::{Document, QueryId, Timestamp};
+
+use crate::engine::{Engine, EventOutcome};
+use crate::query::ContinuousQuery;
+use crate::result::RankedDocument;
+
+/// Accumulated cost of the stream events processed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessingStats {
+    /// Number of stream events (arrivals) processed.
+    pub events: u64,
+    /// Number of expirations those events triggered.
+    pub expirations: u64,
+    /// Sum of `queries_touched_by_arrival` over all events.
+    pub queries_touched_by_arrival: u64,
+    /// Sum of `queries_touched_by_expiration` over all events.
+    pub queries_touched_by_expiration: u64,
+    /// Sum of `results_changed` over all events.
+    pub results_changed: u64,
+    /// Total wall-clock time spent inside `process_document`.
+    pub total_time: Duration,
+    /// The most expensive single event.
+    pub max_event_time: Duration,
+}
+
+impl ProcessingStats {
+    /// Folds one event's outcome and duration into the totals.
+    pub fn record(&mut self, outcome: &EventOutcome, elapsed: Duration) {
+        self.events += 1;
+        self.expirations += outcome.expired as u64;
+        self.queries_touched_by_arrival += outcome.queries_touched_by_arrival as u64;
+        self.queries_touched_by_expiration += outcome.queries_touched_by_expiration as u64;
+        self.results_changed += outcome.results_changed as u64;
+        self.total_time += elapsed;
+        if elapsed > self.max_event_time {
+            self.max_event_time = elapsed;
+        }
+    }
+
+    /// Mean processing time per event (zero when no events were processed).
+    pub fn mean_event_time(&self) -> Duration {
+        if self.events == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / u32::try_from(self.events).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Events processed per second of processing time (the paper's
+    /// throughput view of the same metric).
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.total_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Total (query, update) pairs examined, the paper's work measure.
+    pub fn total_queries_touched(&self) -> u64 {
+        self.queries_touched_by_arrival + self.queries_touched_by_expiration
+    }
+
+    /// The change in counters since `earlier` (saturating; `earlier` should
+    /// be a previous snapshot of the same monitor).
+    pub fn delta_since(&self, earlier: &ProcessingStats) -> ProcessingStats {
+        ProcessingStats {
+            events: self.events.saturating_sub(earlier.events),
+            expirations: self.expirations.saturating_sub(earlier.expirations),
+            queries_touched_by_arrival: self
+                .queries_touched_by_arrival
+                .saturating_sub(earlier.queries_touched_by_arrival),
+            queries_touched_by_expiration: self
+                .queries_touched_by_expiration
+                .saturating_sub(earlier.queries_touched_by_expiration),
+            results_changed: self.results_changed.saturating_sub(earlier.results_changed),
+            total_time: self.total_time.saturating_sub(earlier.total_time),
+            max_event_time: self.max_event_time,
+        }
+    }
+}
+
+/// An [`Engine`] wrapper that times every stream event.
+#[derive(Debug, Clone)]
+pub struct Monitor<E> {
+    engine: E,
+    stats: ProcessingStats,
+}
+
+impl<E: Engine> Monitor<E> {
+    /// Wraps `engine`.
+    pub fn new(engine: E) -> Self {
+        Self {
+            engine,
+            stats: ProcessingStats::default(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine. Events processed directly on
+    /// the inner engine bypass timing.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Consumes the monitor, returning the engine.
+    pub fn into_inner(self) -> E {
+        self.engine
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &ProcessingStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = ProcessingStats::default();
+    }
+}
+
+impl<E: Engine> Engine for Monitor<E> {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        self.engine.register(query)
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        self.engine.deregister(query)
+    }
+
+    fn process_document(&mut self, doc: Document) -> EventOutcome {
+        let start = Instant::now();
+        let outcome = self.engine.process_document(doc);
+        self.stats.record(&outcome, start.elapsed());
+        outcome
+    }
+
+    fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
+        self.engine.current_results(query)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.engine.num_queries()
+    }
+
+    fn num_valid_documents(&self) -> usize {
+        self.engine.num_valid_documents()
+    }
+
+    fn clock(&self) -> Timestamp {
+        self.engine.clock()
+    }
+
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ita::{ItaConfig, ItaEngine};
+    use cts_index::{DocId, SlidingWindow};
+    use cts_text::{TermId, WeightedVector};
+
+    fn doc(id: u64, weight: f64) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights([(TermId(1), weight)]),
+        )
+    }
+
+    fn monitored() -> Monitor<ItaEngine> {
+        Monitor::new(ItaEngine::new(
+            SlidingWindow::count_based(2),
+            ItaConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn events_are_counted_and_timed() {
+        let mut m = monitored();
+        let q = m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        for i in 0..5 {
+            m.process_document(doc(i, 0.1 * (i + 1) as f64));
+        }
+        let stats = m.stats();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.expirations, 3);
+        assert!(stats.total_time >= stats.max_event_time);
+        assert!(stats.mean_event_time() <= stats.max_event_time);
+        assert!(stats.events_per_second() > 0.0);
+        assert_eq!(m.current_results(q).len(), 1);
+        assert_eq!(m.name(), "ita");
+    }
+
+    #[test]
+    fn reset_clears_the_counters() {
+        let mut m = monitored();
+        m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        m.process_document(doc(0, 0.5));
+        assert_eq!(m.stats().events, 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), &ProcessingStats::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let mut m = monitored();
+        m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        m.process_document(doc(0, 0.5));
+        let snapshot = *m.stats();
+        m.process_document(doc(1, 0.6));
+        m.process_document(doc(2, 0.7));
+        let delta = m.stats().delta_since(&snapshot);
+        assert_eq!(delta.events, 2);
+        assert_eq!(delta.expirations, 1);
+    }
+
+    #[test]
+    fn empty_stats_are_well_behaved() {
+        let stats = ProcessingStats::default();
+        assert_eq!(stats.mean_event_time(), Duration::ZERO);
+        assert_eq!(stats.events_per_second(), 0.0);
+        assert_eq!(stats.total_queries_touched(), 0);
+    }
+
+    #[test]
+    fn monitor_passes_engine_calls_through() {
+        let mut m = monitored();
+        let q = m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        assert_eq!(m.num_queries(), 1);
+        m.process_document(doc(0, 0.5));
+        assert_eq!(m.num_valid_documents(), 1);
+        assert_eq!(m.clock(), Timestamp::ZERO.advance(Duration::ZERO));
+        assert!(m.deregister(q));
+        assert_eq!(m.engine().num_queries(), 0);
+        let inner = m.into_inner();
+        assert_eq!(inner.num_valid_documents(), 1);
+    }
+}

@@ -42,7 +42,10 @@ impl ContinuousQuery {
     /// Panics if `k == 0` or the vector is empty.
     pub fn from_weighted_vector(weights: WeightedVector, k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
-        assert!(!weights.is_empty(), "a query needs at least one weighted term");
+        assert!(
+            !weights.is_empty(),
+            "a query needs at least one weighted term"
+        );
         Self { weights, k }
     }
 

@@ -153,7 +153,18 @@ impl ResultSet {
 
     /// The worst (lowest) score currently retained, if any.
     pub fn worst_score(&self) -> Option<f64> {
-        self.ordered.iter().next_back().map(|e| e.score.get())
+        self.worst().map(|e| e.score)
+    }
+
+    /// The lowest-ranked entry (lowest score, ties broken by highest
+    /// document id — the exact inverse of [`ResultSet::top`]'s order), if
+    /// any. This is the admission boundary of a bounded view: a newcomer
+    /// belongs in the set iff it ranks above this entry.
+    pub fn worst(&self) -> Option<RankedDocument> {
+        self.ordered.iter().next_back().map(|e| RankedDocument {
+            doc: e.doc,
+            score: e.score.get(),
+        })
     }
 
     /// Removes and returns the lowest-scored entry (used by bounded buffers
@@ -255,10 +266,21 @@ mod tests {
         r.insert(d(3), 0.5);
         assert_eq!(r.best_score(), Some(0.9));
         assert_eq!(r.worst_score(), Some(0.1));
+        assert_eq!(r.worst().unwrap().doc, d(2));
         let popped = r.pop_worst().unwrap();
         assert_eq!(popped.doc, d(2));
         assert_eq!(r.len(), 2);
         assert_eq!(r.worst_score(), Some(0.5));
+    }
+
+    #[test]
+    fn worst_breaks_ties_by_highest_doc_id() {
+        let mut r = ResultSet::new();
+        r.insert(d(10), 0.5);
+        r.insert(d(30), 0.5);
+        r.insert(d(20), 0.5);
+        assert_eq!(r.worst().unwrap().doc, d(30));
+        assert!(ResultSet::new().worst().is_none());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! The monitoring-server façade.
+//!
+//! [`MonitoringServer`] is the top of the stack: it owns a monitored engine,
+//! accepts query registrations, consumes the document stream (one event or a
+//! whole batch at a time) and serves current results — the role the paper's
+//! "monitoring server" plays between the stream source and the users holding
+//! continuous queries. Timing comes for free from the embedded
+//! [`Monitor`].
+
+use cts_index::{Document, QueryId, SlidingWindow, Timestamp};
+
+use crate::engine::{Engine, EventOutcome};
+use crate::ita::{ItaConfig, ItaEngine};
+use crate::monitor::{Monitor, ProcessingStats};
+use crate::naive::{NaiveConfig, NaiveEngine};
+use crate::query::ContinuousQuery;
+use crate::result::RankedDocument;
+
+/// A monitoring server over any [`Engine`].
+#[derive(Debug, Clone)]
+pub struct MonitoringServer<E: Engine> {
+    monitor: Monitor<E>,
+}
+
+impl MonitoringServer<ItaEngine> {
+    /// A server running the paper's Incremental Threshold Algorithm.
+    pub fn ita(window: SlidingWindow, config: ItaConfig) -> Self {
+        Self::new(ItaEngine::new(window, config))
+    }
+}
+
+impl MonitoringServer<NaiveEngine> {
+    /// A server running the top-`k_max` materialised-view baseline.
+    pub fn naive(window: SlidingWindow, config: NaiveConfig) -> Self {
+        Self::new(NaiveEngine::new(window, config))
+    }
+}
+
+impl<E: Engine> MonitoringServer<E> {
+    /// Wraps `engine` in a timed server.
+    pub fn new(engine: E) -> Self {
+        Self {
+            monitor: Monitor::new(engine),
+        }
+    }
+
+    /// Registers a continuous query; its initial result is computed
+    /// immediately over the currently valid documents.
+    pub fn register_query(&mut self, query: ContinuousQuery) -> QueryId {
+        self.monitor.register(query)
+    }
+
+    /// Removes a query. Returns `true` if it existed.
+    pub fn deregister_query(&mut self, query: QueryId) -> bool {
+        self.monitor.deregister(query)
+    }
+
+    /// Feeds one stream event (an arrival plus the expirations it triggers).
+    pub fn feed(&mut self, doc: Document) -> EventOutcome {
+        self.monitor.process_document(doc)
+    }
+
+    /// Feeds a whole batch of documents, returning the processing statistics
+    /// for exactly this batch.
+    pub fn run<I>(&mut self, docs: I) -> ProcessingStats
+    where
+        I: IntoIterator<Item = Document>,
+    {
+        let before = *self.monitor.stats();
+        for doc in docs {
+            self.monitor.process_document(doc);
+        }
+        self.monitor.stats().delta_since(&before)
+    }
+
+    /// The current top-k of `query`, best first.
+    pub fn results(&self, query: QueryId) -> Vec<RankedDocument> {
+        self.monitor.current_results(query)
+    }
+
+    /// Cumulative processing statistics since construction (or the last
+    /// [`MonitoringServer::reset_stats`]).
+    pub fn stats(&self) -> &ProcessingStats {
+        self.monitor.stats()
+    }
+
+    /// Resets the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.monitor.reset_stats()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.monitor.num_queries()
+    }
+
+    /// Number of currently valid documents.
+    pub fn num_valid_documents(&self) -> usize {
+        self.monitor.num_valid_documents()
+    }
+
+    /// The server's stream clock.
+    pub fn clock(&self) -> Timestamp {
+        self.monitor.clock()
+    }
+
+    /// The underlying engine's reporting name ("ita", "naive", …).
+    pub fn engine_name(&self) -> &'static str {
+        self.monitor.name()
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        self.monitor.engine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_index::DocId;
+    use cts_text::{TermId, WeightedVector};
+
+    fn doc(id: u64, weight: f64) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights([(TermId(1), weight)]),
+        )
+    }
+
+    #[test]
+    fn ita_server_end_to_end() {
+        let mut server = MonitoringServer::ita(SlidingWindow::count_based(3), ItaConfig::default());
+        let q = server.register_query(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        let stats = server.run((0..10u64).map(|i| doc(i, 0.1 + (i % 4) as f64 * 0.2)));
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.expirations, 7);
+        assert_eq!(server.num_valid_documents(), 3);
+        let top = server.results(q);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score >= top[1].score);
+        assert_eq!(server.engine_name(), "ita");
+        assert_eq!(server.num_queries(), 1);
+        assert!(server.deregister_query(q));
+    }
+
+    #[test]
+    fn naive_server_matches_ita_server() {
+        let mut ita = MonitoringServer::ita(SlidingWindow::count_based(4), ItaConfig::default());
+        let mut naive =
+            MonitoringServer::naive(SlidingWindow::count_based(4), NaiveConfig::default());
+        let query = ContinuousQuery::from_weights([(TermId(1), 1.0)], 2);
+        let qa = ita.register_query(query.clone());
+        let qb = naive.register_query(query);
+        for i in 0..30u64 {
+            let d = doc(i, 0.05 + (i % 7) as f64 * 0.1);
+            ita.feed(d.clone());
+            naive.feed(d);
+            assert_eq!(ita.results(qa), naive.results(qb), "diverged at event {i}");
+        }
+        assert_eq!(naive.engine_name(), "naive");
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut server = MonitoringServer::ita(SlidingWindow::count_based(2), ItaConfig::default());
+        server.feed(doc(0, 0.5));
+        assert_eq!(server.stats().events, 1);
+        server.reset_stats();
+        assert_eq!(server.stats().events, 0);
+        assert_eq!(server.clock(), Timestamp::ZERO);
+        assert_eq!(server.engine().num_valid_documents(), 1);
+    }
+}

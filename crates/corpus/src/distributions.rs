@@ -25,7 +25,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf support must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 1..=n {
@@ -90,7 +93,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         Self { mu, sigma }
     }

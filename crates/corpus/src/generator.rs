@@ -58,12 +58,10 @@ impl SyntheticCorpus {
 
     /// Samples the next document's raw term-frequency vector.
     pub fn next_term_vector(&mut self) -> TermVector {
-        let target_len = self
-            .doc_len
-            .sample(&mut self.rng)
-            .round()
-            .clamp(self.config.min_doc_len as f64, self.config.max_doc_len as f64)
-            as usize;
+        let target_len = self.doc_len.sample(&mut self.rng).round().clamp(
+            self.config.min_doc_len as f64,
+            self.config.max_doc_len as f64,
+        ) as usize;
         let mut v = TermVector::new();
         for _ in 0..target_len {
             let rank = self.zipf.sample(&mut self.rng);

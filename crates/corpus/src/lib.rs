@@ -23,6 +23,26 @@
 //!
 //! DESIGN.md §3 documents why these substitutions preserve the behaviour the
 //! paper measures.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
+//!
+//! // A reduced corpus and a 200 docs/s Poisson stream, fully seeded.
+//! let mut stream = DocumentStream::new(CorpusConfig::small(), StreamConfig::default());
+//! let docs = stream.take_documents(10);
+//! assert_eq!(docs.len(), 10);
+//! assert!(docs.windows(2).all(|w| w[0].arrival < w[1].arrival));
+//!
+//! // A workload of 5 queries with 4 search terms each, over the same
+//! // vocabulary.
+//! let workload = QueryWorkload::new(
+//!     WorkloadConfig { num_queries: 5, query_length: 4, ..WorkloadConfig::default() },
+//!     stream.vocabulary_size(),
+//! );
+//! assert_eq!(workload.generate().len(), 5);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -56,7 +56,10 @@ impl QueryWorkload {
     /// terms.
     pub fn new(config: WorkloadConfig, vocabulary_size: usize) -> Self {
         assert!(vocabulary_size > 0, "vocabulary must be non-empty");
-        assert!(config.query_length > 0, "queries must have at least one term");
+        assert!(
+            config.query_length > 0,
+            "queries must have at least one term"
+        );
         assert!(config.k > 0, "k must be at least 1");
         Self {
             config,

@@ -15,8 +15,8 @@ pub struct Vocabulary {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pl", "pr", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl",
+    "pr", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "nd", "rk", "st"];
@@ -131,17 +131,21 @@ mod tests {
     #[test]
     fn words_are_lowercase_ascii() {
         let v = Vocabulary::synthetic(2_000);
-        assert!(v
-            .words
-            .iter()
-            .all(|w| w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+        assert!(v.words.iter().all(|w| w
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
     }
 
     #[test]
     fn render_joins_words() {
         let v = Vocabulary::synthetic(10);
         let text = v.render([TermId(0), TermId(3), TermId(7)]);
-        let expected = format!("{} {} {}", v.word(TermId(0)), v.word(TermId(3)), v.word(TermId(7)));
+        let expected = format!(
+            "{} {} {}",
+            v.word(TermId(0)),
+            v.word(TermId(3)),
+            v.word(TermId(7))
+        );
         assert_eq!(text, expected);
     }
 

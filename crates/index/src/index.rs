@@ -99,7 +99,12 @@ impl InvertedIndex {
     /// A point-in-time summary of the index shape.
     pub fn stats(&self) -> IndexStats {
         let total_postings: usize = self.lists.values().map(InvertedList::len).sum();
-        let longest_list = self.lists.values().map(InvertedList::len).max().unwrap_or(0);
+        let longest_list = self
+            .lists
+            .values()
+            .map(InvertedList::len)
+            .max()
+            .unwrap_or(0);
         IndexStats {
             documents: self.store.len(),
             terms: self.lists.len(),

@@ -75,13 +75,15 @@ impl InvertedList {
     /// Inserts the posting for `doc` with weight `weight`.
     /// Returns `false` if an identical posting was already present.
     pub fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
-        self.entries.insert(DescendingKey(Posting::new(doc, weight)))
+        self.entries
+            .insert(DescendingKey(Posting::new(doc, weight)))
     }
 
     /// Removes the posting for `doc` with weight `weight`.
     /// Returns `true` if the posting was present.
     pub fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
-        self.entries.remove(&DescendingKey(Posting::new(doc, weight)))
+        self.entries
+            .remove(&DescendingKey(Posting::new(doc, weight)))
     }
 
     /// Number of postings in the list.

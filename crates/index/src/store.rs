@@ -142,7 +142,9 @@ mod tests {
         assert_eq!(s.len(), 5);
         assert_eq!(s.oldest().unwrap().id, DocId(0));
         assert_eq!(s.newest().unwrap().id, DocId(4));
-        let popped: Vec<u64> = std::iter::from_fn(|| s.pop_oldest()).map(|d| d.id.0).collect();
+        let popped: Vec<u64> = std::iter::from_fn(|| s.pop_oldest())
+            .map(|d| d.id.0)
+            .collect();
         assert_eq!(popped, vec![0, 1, 2, 3, 4]);
         assert!(s.is_empty());
     }

@@ -173,7 +173,12 @@ mod tests {
 
     #[test]
     fn weight_ordering_is_total() {
-        let mut ws = vec![Weight::new(0.3), Weight::new(-1.0), Weight::new(2.5), Weight::ZERO];
+        let mut ws = vec![
+            Weight::new(0.3),
+            Weight::new(-1.0),
+            Weight::new(2.5),
+            Weight::ZERO,
+        ];
         ws.sort();
         let raw: Vec<f64> = ws.into_iter().map(Weight::get).collect();
         assert_eq!(raw, vec![-1.0, 0.0, 0.3, 2.5]);

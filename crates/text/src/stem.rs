@@ -174,7 +174,7 @@ fn step_1b(w: &mut Vec<u8>) {
 }
 
 /// Step 1c: terminal y → i when the stem contains a vowel.
-fn step_1c(w: &mut Vec<u8>) {
+fn step_1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';
@@ -408,8 +408,19 @@ mod tests {
     fn stemming_is_idempotent_on_common_vocabulary() {
         let stemmer = PorterStemmer::new();
         for w in [
-            "market", "markets", "marketing", "industry", "industries", "company", "companies",
-            "reporting", "reported", "analyst", "analysts", "security", "securities",
+            "market",
+            "markets",
+            "marketing",
+            "industry",
+            "industries",
+            "company",
+            "companies",
+            "reporting",
+            "reported",
+            "analyst",
+            "analysts",
+            "security",
+            "securities",
         ] {
             let once = stemmer.stem(w);
             let twice = stemmer.stem(&once);

@@ -14,22 +14,186 @@ use std::collections::HashSet;
 /// that dominate newswire text; it intentionally contains only lower-case
 /// ASCII entries because the [`crate::Tokenizer`] lower-cases its output.
 pub const DEFAULT_ENGLISH: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
-    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
-    "both", "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
-    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
-    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
-    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
-    "let", "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of",
-    "off", "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out",
-    "over", "own", "re", "s", "same", "shan", "she", "should", "shouldn", "so", "some", "such",
-    "t", "than", "that", "the", "their", "theirs", "them", "themselves", "then", "there",
-    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "ve",
-    "very", "was", "wasn", "we", "were", "weren", "what", "when", "where", "which", "while",
-    "who", "whom", "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours",
-    "yourself", "yourselves", "mr", "mrs", "ms", "said", "say", "says", "one", "two", "new",
-    "may", "much", "many", "upon", "us", "yet", "however", "since", "per", "via", "among",
-    "within", "without", "according", "although", "might", "must", "shall", "still", "already",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "couldn",
+    "did",
+    "didn",
+    "do",
+    "does",
+    "doesn",
+    "doing",
+    "don",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadn",
+    "has",
+    "hasn",
+    "have",
+    "haven",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "let",
+    "ll",
+    "me",
+    "more",
+    "most",
+    "mustn",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "re",
+    "s",
+    "same",
+    "shan",
+    "she",
+    "should",
+    "shouldn",
+    "so",
+    "some",
+    "such",
+    "t",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "ve",
+    "very",
+    "was",
+    "wasn",
+    "we",
+    "were",
+    "weren",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "won",
+    "would",
+    "wouldn",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "mr",
+    "mrs",
+    "ms",
+    "said",
+    "say",
+    "says",
+    "one",
+    "two",
+    "new",
+    "may",
+    "much",
+    "many",
+    "upon",
+    "us",
+    "yet",
+    "however",
+    "since",
+    "per",
+    "via",
+    "among",
+    "within",
+    "without",
+    "according",
+    "although",
+    "might",
+    "must",
+    "shall",
+    "still",
+    "already",
 ];
 
 /// A set of stop words used to filter tokens before indexing.

@@ -90,11 +90,7 @@ impl Tokenizer {
             let at_end = iter.peek().is_none();
             if (!is_word || at_end) && start.is_some() {
                 let begin = start.take().expect("start set");
-                let end = if is_word && at_end {
-                    input.len()
-                } else {
-                    idx
-                };
+                let end = if is_word && at_end { input.len() } else { idx };
                 if let Some(tok) = self.make_token(input, bytes, begin, end, position) {
                     out.push(tok);
                     position += 1;
@@ -166,9 +162,7 @@ mod tests {
     fn borrowed_when_already_lowercase_ascii() {
         let t = Tokenizer::new();
         let toks = t.tokenize("simple lowercase words");
-        assert!(toks
-            .iter()
-            .all(|tok| matches!(tok.text, Cow::Borrowed(_))));
+        assert!(toks.iter().all(|tok| matches!(tok.text, Cow::Borrowed(_))));
     }
 
     #[test]

@@ -115,10 +115,7 @@ impl Bm25Model {
     }
 
     fn idf(&self, dict: &Dictionary, term: crate::TermId) -> f64 {
-        let df = dict
-            .stats(term)
-            .map(|s| s.document_frequency)
-            .unwrap_or(0);
+        let df = dict.stats(term).map(|s| s.document_frequency).unwrap_or(0);
         if df == 0 {
             return 1.0;
         }
@@ -159,18 +156,13 @@ impl WeightingModel for Bm25Model {
 
 /// The similarity measures available to the engines, as a plain enum so that
 /// configurations remain serialisable.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub enum Scoring {
     /// Cosine similarity (the paper's Equation 1). The default.
+    #[default]
     Cosine,
     /// Okapi BM25 with the given parameters.
     Bm25(Bm25Model),
-}
-
-impl Default for Scoring {
-    fn default() -> Self {
-        Scoring::Cosine
-    }
 }
 
 impl Scoring {
