@@ -1,12 +1,66 @@
-//! Planned ablation: the naïve baseline's `k_max` buffer factor (Yi et al.).
-//! Larger buffers amortise more expirations before a full rescan but make
-//! every arrival pay more; this sweep will chart that trade-off. Not
-//! implemented yet; `NaiveEngine::recomputations` already exposes the rescan
-//! counter the sweep will report.
+//! Ablation: the naïve baseline's `k_max` buffer factor (Yi et al.).
+//!
+//! The materialised view holds up to `k_max = kmax_factor · k` documents per
+//! query. A larger buffer absorbs more expirations before the view runs dry
+//! and forces a full window rescan, but makes every arrival pay more
+//! admission work and memory. This sweep streams the same seeded fixture
+//! through `kmax_factor ∈ {1, 2, 4, 8}` and prints, next to the criterion
+//! timing, the number of full recomputations each factor incurred — the
+//! amortisation trade-off the factor buys.
+//!
+//! Run with `cargo bench --bench ablation_kmax`.
 
-fn main() {
-    eprintln!(
-        "ablation_kmax: not implemented yet — NaiveConfig::kmax_factor and \
-         NaiveEngine::recomputations() are the knobs and metric it will sweep."
-    );
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cts_bench::fixture;
+use cts_core::{Engine, NaiveConfig, NaiveEngine};
+use cts_index::SlidingWindow;
+
+const EVENTS: usize = 400;
+const QUERIES: usize = 50;
+const WINDOW: usize = 100;
+
+fn bench_kmax(c: &mut Criterion) {
+    let fixture = fixture(EVENTS, QUERIES);
+    for factor in [1usize, 2, 4, 8] {
+        let config = NaiveConfig {
+            kmax_factor: factor,
+        };
+
+        // Work counter first (one untimed pass): full-view recomputations.
+        let mut engine = NaiveEngine::new(SlidingWindow::count_based(WINDOW), config);
+        for query in &fixture.queries {
+            engine.register(query.clone());
+        }
+        for doc in &fixture.documents {
+            engine.process_document(doc.clone());
+        }
+        println!(
+            "naive/kmax_factor={factor}: {} recomputations over {EVENTS} events \
+             ({QUERIES} queries, window {WINDOW})",
+            engine.recomputations()
+        );
+
+        c.bench_function(&format!("naive/stream/kmax_factor={factor}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = NaiveEngine::new(SlidingWindow::count_based(WINDOW), config);
+                    for query in &fixture.queries {
+                        engine.register(query.clone());
+                    }
+                    engine
+                },
+                |mut engine| {
+                    for doc in &fixture.documents {
+                        engine.process_document(doc.clone());
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
 }
+
+criterion_group!(benches, bench_kmax);
+criterion_main!(benches);

@@ -1,8 +1,13 @@
-//! Placeholder bench target for the Figure 3(a) sweep. The actual harness
-//! lives in (and is documented by) the `fig3a` binary: `cargo run --bin
-//! fig3a`. This target exists so `cargo bench` enumerates the planned
-//! figure reproductions.
+//! Pointer target for the Figure 3(a) sweep. The real harness is the `fig3a`
+//! binary (it needs JSON output and CLI flags, which the criterion-style
+//! harness does not provide). This target exists so `cargo bench` enumerates
+//! the figure reproductions and tells the user where they live.
 
 fn main() {
-    eprintln!("fig3a: no criterion measurements yet — run `cargo run -p cts-bench --bin fig3a`.");
+    eprintln!(
+        "fig3a: the sweep runs as a binary (JSON report + CLI flags):\n\
+         \n\
+         cargo run --release -p cts-bench --bin fig3a             # paper scale → BENCH_fig3a.json\n\
+         cargo run --release -p cts-bench --bin fig3a -- --quick  # reduced CI-smoke grid"
+    );
 }

@@ -1,22 +1,33 @@
-//! Reproduction harness for the paper's Figure 3(a): mean processing time
-//! per stream event, ITA vs the top-`k_max` naïve baseline, as the number of
-//! installed continuous queries grows.
+//! Reproduction of the paper's Figure 3(a): mean processing time per stream
+//! event, ITA vs the top-`k_max` naïve baseline, as the number of installed
+//! continuous queries grows.
 //!
-//! The full sweep (1,000 queries over the WSJ-scale corpus) is future work;
-//! this binary currently documents the experiment and runs nothing.
+//! Protocol (§IV): fill a 10,000-document count-based window from the
+//! synthetic WSJ-like stream (181,978-term vocabulary, 200 docs/s Poisson
+//! arrivals), register N ∈ {100, 250, 500, 1000} queries (10 terms, k = 10),
+//! then measure steady-state events — each arrival expires the oldest
+//! document — through `cts_core::Monitor`. ITA's final top-k for a sample of
+//! queries is the reference; the naïve engine must reproduce it exactly or
+//! the run panics.
+//!
+//! Usage:
+//!   cargo run --release -p cts-bench --bin fig3a            # paper scale
+//!   cargo run --release -p cts-bench --bin fig3a -- --quick # CI smoke grid
+//!   options: --events N (measured events/cell), --out PATH (default
+//!   BENCH_fig3a.json)
+//!
+//! The JSON report schema is documented in README §"Reproducing Figure 3".
+
+use cts_bench::sweep::{fig3a_grid, run_sweep, SweepOptions};
 
 fn main() {
-    eprintln!(
-        "fig3a: reproduction of Figure 3(a) — processing time vs. number of queries.\n\
-         \n\
-         Planned sweep: register N ∈ {{100, 250, 500, 1000}} continuous queries\n\
-         (k = 10, 10 terms each) against a 200 docs/s Poisson stream over the\n\
-         synthetic WSJ-like corpus (DESIGN.md §3), then report the mean event\n\
-         processing time of ItaEngine and NaiveEngine via cts_core::Monitor.\n\
-         \n\
-         The sweep harness is not implemented yet. In the meantime:\n\
-           cargo bench --bench index_micro        # index-layer hot paths\n\
-           cargo bench --bench ablation_rollup    # ITA roll-up on/off\n\
-           cargo test  -p cts-core                # cross-engine validation"
+    let options = SweepOptions::from_args("BENCH_fig3a.json");
+    let grid = fig3a_grid(&options);
+    run_sweep(
+        "fig3a",
+        "Mean event processing time vs. number of continuous queries \
+         (count-based window, ITA vs top-kmax naive baseline)",
+        grid,
+        &options,
     );
 }

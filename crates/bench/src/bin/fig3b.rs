@@ -1,23 +1,32 @@
-//! Reproduction harness for the paper's Figure 3(b): mean processing time
-//! per stream event, ITA vs the top-`k_max` naïve baseline, as the sliding
-//! window grows.
+//! Reproduction of the paper's Figure 3(b): mean processing time per stream
+//! event, ITA vs the top-`k_max` naïve baseline, as the sliding window
+//! grows.
 //!
-//! The full sweep is future work; this binary currently documents the
-//! experiment and runs nothing.
+//! Protocol (§IV): fix 1,000 continuous queries (10 terms, k = 10) and vary
+//! the count-based window over {10k, 20k, 40k} documents (80k with
+//! `--full`) on the 200 docs/s synthetic WSJ-like stream, measuring
+//! steady-state events through `cts_core::Monitor`. ITA's final top-k for a
+//! sample of queries is the reference; the naïve engine must reproduce it
+//! exactly or the run panics.
+//!
+//! Usage:
+//!   cargo run --release -p cts-bench --bin fig3b            # paper scale
+//!   cargo run --release -p cts-bench --bin fig3b -- --quick # CI smoke grid
+//!   options: --full (adds the 80k window), --events N, --out PATH
+//!   (default BENCH_fig3b.json)
+//!
+//! The JSON report schema is documented in README §"Reproducing Figure 3".
+
+use cts_bench::sweep::{fig3b_grid, run_sweep, SweepOptions};
 
 fn main() {
-    eprintln!(
-        "fig3b: reproduction of Figure 3(b) — processing time vs. window size.\n\
-         \n\
-         Planned sweep: fix 1,000 continuous queries (k = 10) and vary the\n\
-         count-based window N ∈ {{10k, 20k, 40k, 80k}} documents (plus the\n\
-         time-based equivalents) on the 200 docs/s synthetic stream, reporting\n\
-         the mean event processing time of ItaEngine and NaiveEngine via\n\
-         cts_core::Monitor.\n\
-         \n\
-         The sweep harness is not implemented yet. In the meantime:\n\
-           cargo bench --bench index_micro        # index-layer hot paths\n\
-           cargo bench --bench ablation_rollup    # ITA roll-up on/off\n\
-           cargo test  -p cts-core                # cross-engine validation"
+    let options = SweepOptions::from_args("BENCH_fig3b.json");
+    let grid = fig3b_grid(&options);
+    run_sweep(
+        "fig3b",
+        "Mean event processing time vs. sliding-window size \
+         (1,000 continuous queries, ITA vs top-kmax naive baseline)",
+        grid,
+        &options,
     );
 }

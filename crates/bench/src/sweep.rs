@@ -1,0 +1,521 @@
+//! The paper-scale Figure 3 sweep harness.
+//!
+//! Reproduces the experimental protocol of §IV: fill a count-based sliding
+//! window from the synthetic WSJ-like stream, register the continuous-query
+//! workload, then measure the mean per-event processing time of
+//! [`ItaEngine`] and [`NaiveEngine`] over a run of steady-state events
+//! (each arrival expires the oldest document, so every event exercises both
+//! maintenance paths). Figure 3(a) grows the query count at a fixed window;
+//! Figure 3(b) grows the window at the paper's 1,000 queries.
+//!
+//! Engines run **sequentially**, each reading its own identically-seeded
+//! (hence identical) document stream — nothing is materialised, so peak
+//! memory stays at one engine's footprint — and the harness
+//! cross-checks them anyway: ITA's final top-k for a sample of queries is
+//! snapshotted and the naïve engine must reproduce it exactly
+//! ([`cts_core::validate::compare_to_snapshot`]). A cell that diverges
+//! panics; the sweep binaries are therefore also paper-scale integration
+//! tests.
+//!
+//! Reports serialise to machine-readable JSON (`BENCH_fig3a.json` /
+//! `BENCH_fig3b.json`) so the performance trajectory of this repository is
+//! recorded run over run; see README §"Reproducing Figure 3".
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use cts_core::validate::{
+    compare_to_snapshot, sample_queries, snapshot_results, DEFAULT_TOLERANCE,
+};
+use cts_core::{ContinuousQuery, Engine, ItaConfig, ItaEngine, Monitor, NaiveConfig, NaiveEngine};
+use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
+use cts_index::{QueryId, SlidingWindow};
+use cts_text::weighting::Scoring;
+use cts_text::Dictionary;
+use serde::Serialize;
+
+/// One cell of a Figure 3 sweep: a fully specified experiment.
+#[derive(Debug, Clone)]
+pub struct SweepSettings {
+    /// Number of registered continuous queries (paper default: 1,000).
+    pub num_queries: usize,
+    /// Count-based window size in documents (paper default: 10,000+).
+    pub window_docs: usize,
+    /// Steady-state events to measure after the window is full.
+    pub measured_events: usize,
+    /// Corpus shape (vocabulary, document lengths).
+    pub corpus: CorpusConfig,
+    /// Mean Poisson arrival rate in documents/second (paper: 200).
+    pub arrival_rate_per_sec: f64,
+    /// Search terms per query (paper default: 10).
+    pub query_length: usize,
+    /// Results maintained per query (paper: 10).
+    pub k: usize,
+    /// Base seed; the stream and workload derive their own from it.
+    pub seed: u64,
+    /// Compare every `stride`-th query between the engines after the run.
+    pub self_check_stride: usize,
+}
+
+impl SweepSettings {
+    /// A paper-scale cell: WSJ-like corpus (181,978-term vocabulary), 200
+    /// docs/s, 10-term queries with `k = 10`.
+    pub fn paper(num_queries: usize, window_docs: usize, measured_events: usize) -> Self {
+        Self {
+            num_queries,
+            window_docs,
+            measured_events,
+            corpus: CorpusConfig {
+                seed: 0xF16_3000,
+                ..CorpusConfig::default()
+            },
+            arrival_rate_per_sec: 200.0,
+            query_length: 10,
+            k: 10,
+            seed: 0xF16_3100,
+            self_check_stride: 20,
+        }
+    }
+
+    /// A reduced cell for CI smoke runs: small vocabulary, short documents,
+    /// everything finishes in seconds.
+    pub fn quick(num_queries: usize, window_docs: usize, measured_events: usize) -> Self {
+        Self {
+            corpus: CorpusConfig {
+                seed: 0xF16_3000,
+                ..CorpusConfig::small()
+            },
+            self_check_stride: 5,
+            ..Self::paper(num_queries, window_docs, measured_events)
+        }
+    }
+}
+
+/// Measured outcome of one engine in one cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellReport {
+    /// Engine name (`ita` or `naive`).
+    pub engine: String,
+    /// Registered queries.
+    pub num_queries: usize,
+    /// Window size in documents.
+    pub window_docs: usize,
+    /// Steady-state events measured.
+    pub measured_events: u64,
+    /// Expirations triggered by the measured events.
+    pub expirations: u64,
+    /// Wall-clock seconds to stream the window full (no queries registered).
+    pub fill_seconds: f64,
+    /// Wall-clock seconds to register the full query workload.
+    pub register_seconds: f64,
+    /// Mean per-event processing time, microseconds (the paper's metric).
+    pub mean_event_micros: f64,
+    /// Slowest single event, microseconds.
+    pub max_event_micros: f64,
+    /// Steady-state throughput in events/second of processing time.
+    pub events_per_second: f64,
+    /// Mean (query, update) pairs examined per event — the paper's work
+    /// measure, where ITA's pruning shows up directly.
+    pub queries_touched_per_event: f64,
+    /// Top-k changes observed during measurement.
+    pub results_changed: u64,
+    /// Full view recomputations (naïve engine only).
+    pub recomputations: Option<u64>,
+    /// Total impact entries in the inverted index (ITA only).
+    pub index_postings: Option<usize>,
+    /// Outcome of the cross-engine self-check (`"reference"` for the engine
+    /// that produced the snapshot, `"ok (n queries)"` for the one checked
+    /// against it).
+    pub self_check: String,
+}
+
+/// A complete sweep: shared setup plus one [`CellReport`] per (cell, engine).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Which figure this reproduces (`fig3a` / `fig3b`).
+    pub figure: String,
+    /// Human-readable description of the protocol.
+    pub description: String,
+    /// Seconds since the Unix epoch when the sweep finished.
+    pub unix_time_secs: u64,
+    /// Vocabulary size of the synthetic corpus.
+    pub vocabulary_size: usize,
+    /// Mean Poisson arrival rate, documents/second.
+    pub arrival_rate_per_sec: f64,
+    /// Search terms per query.
+    pub query_length: usize,
+    /// Results maintained per query.
+    pub k: usize,
+    /// One entry per (cell, engine), in execution order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Creates an empty report that cells are appended to.
+    pub fn new(figure: &str, description: &str, template: &SweepSettings) -> Self {
+        Self {
+            figure: figure.to_string(),
+            description: description.to_string(),
+            unix_time_secs: 0,
+            vocabulary_size: template.corpus.vocabulary_size,
+            arrival_rate_per_sec: template.arrival_rate_per_sec,
+            query_length: template.query_length,
+            k: template.k,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Stamps the completion time and serialises the report to `path`.
+    pub fn write(mut self, path: &str) -> std::io::Result<()> {
+        self.unix_time_secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let json = serde_json::to_string(&self).expect("report serialises");
+        std::fs::write(path, json)
+    }
+}
+
+/// Generates the cell's continuous-query workload (deterministic in the
+/// settings' seed).
+fn build_queries(settings: &SweepSettings) -> Vec<ContinuousQuery> {
+    let workload = QueryWorkload::new(
+        WorkloadConfig {
+            num_queries: settings.num_queries,
+            query_length: settings.query_length,
+            k: settings.k,
+            popularity_biased: false,
+            seed: settings.seed ^ 0x51,
+        },
+        settings.corpus.vocabulary_size,
+    );
+    let dict = Dictionary::new();
+    workload
+        .generate()
+        .iter()
+        .map(|spec| {
+            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
+        })
+        .collect()
+}
+
+/// The cell's document stream. Fully deterministic in the settings' seed,
+/// so each engine gets its own instance and reads an identical sequence —
+/// nothing is materialised, and peak memory really is one engine's
+/// footprint as the module docs promise.
+fn build_stream(settings: &SweepSettings) -> DocumentStream {
+    DocumentStream::new(
+        settings.corpus,
+        StreamConfig {
+            arrival_rate_per_sec: settings.arrival_rate_per_sec,
+            seed: settings.seed ^ 0xD0C,
+        },
+    )
+}
+
+struct DriveOutcome<E: Engine> {
+    monitor: Monitor<E>,
+    query_ids: Vec<QueryId>,
+    fill_seconds: f64,
+    register_seconds: f64,
+}
+
+/// Streams one engine through fill → register → measured events. Document
+/// generation happens between `process_document` calls, so the monitor's
+/// per-event timings never include it (fill_seconds, an informational
+/// total, does).
+fn drive<E: Engine>(
+    mut engine: E,
+    settings: &SweepSettings,
+    queries: &[ContinuousQuery],
+) -> DriveOutcome<E> {
+    let mut stream = build_stream(settings);
+    let start = Instant::now();
+    for _ in 0..settings.window_docs {
+        engine.process_document(stream.next_document());
+    }
+    let fill_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let query_ids: Vec<QueryId> = queries.iter().map(|q| engine.register(q.clone())).collect();
+    let register_seconds = start.elapsed().as_secs_f64();
+
+    let mut monitor = Monitor::new(engine);
+    for _ in 0..settings.measured_events {
+        monitor.process_document(stream.next_document());
+    }
+    DriveOutcome {
+        monitor,
+        query_ids,
+        fill_seconds,
+        register_seconds,
+    }
+}
+
+fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -> CellReport {
+    let stats = outcome.monitor.stats();
+    let events = stats.events.max(1);
+    CellReport {
+        engine: outcome.monitor.name().to_string(),
+        num_queries: settings.num_queries,
+        window_docs: settings.window_docs,
+        measured_events: stats.events,
+        expirations: stats.expirations,
+        fill_seconds: outcome.fill_seconds,
+        register_seconds: outcome.register_seconds,
+        mean_event_micros: stats.total_time.as_secs_f64() * 1e6 / events as f64,
+        max_event_micros: stats.max_event_time.as_secs_f64() * 1e6,
+        events_per_second: stats.events_per_second(),
+        queries_touched_per_event: stats.total_queries_touched() as f64 / events as f64,
+        results_changed: stats.results_changed,
+        recomputations: None,
+        index_postings: None,
+        self_check: String::new(),
+    }
+}
+
+/// Runs one cell: ITA first (its final top-k sample becomes the reference
+/// snapshot), then the naïve baseline, which must reproduce it exactly.
+/// Returns the two [`CellReport`]s in execution order.
+///
+/// # Panics
+///
+/// Panics if the engines diverge on any sampled query — the sweep doubles as
+/// a paper-scale correctness check.
+pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
+    let queries = build_queries(settings);
+    let window = SlidingWindow::count_based(settings.window_docs);
+
+    eprintln!(
+        "  cell: {} queries, {}-doc window, {} events",
+        settings.num_queries, settings.window_docs, settings.measured_events
+    );
+
+    // ITA.
+    let outcome = drive(
+        ItaEngine::new(window, ItaConfig::default()),
+        settings,
+        &queries,
+    );
+    let sampled = sample_queries(&outcome.query_ids, settings.self_check_stride);
+    let snapshot = snapshot_results(&outcome.monitor, &sampled);
+    let mut ita_report = base_report(settings, &outcome);
+    ita_report.index_postings = Some(outcome.monitor.engine().index_stats().postings);
+    ita_report.self_check = "reference".to_string();
+    eprintln!(
+        "    ita:   mean {:.1} µs/event, {:.1} queries touched/event",
+        ita_report.mean_event_micros, ita_report.queries_touched_per_event
+    );
+    drop(outcome); // Free the index before the baseline fills its store.
+
+    // Naïve baseline, over its own identically-seeded stream.
+    let outcome = drive(
+        NaiveEngine::new(window, NaiveConfig::default()),
+        settings,
+        &queries,
+    );
+    if let Err(divergence) = compare_to_snapshot(
+        "ita",
+        &snapshot,
+        &outcome.monitor,
+        &sampled,
+        DEFAULT_TOLERANCE,
+    ) {
+        panic!("paper-scale self-check failed: {divergence}");
+    }
+    let mut naive_report = base_report(settings, &outcome);
+    naive_report.recomputations = Some(outcome.monitor.engine().recomputations());
+    naive_report.self_check = format!("ok ({} queries)", sampled.len());
+    eprintln!(
+        "    naive: mean {:.1} µs/event, {:.1} queries touched/event",
+        naive_report.mean_event_micros, naive_report.queries_touched_per_event
+    );
+
+    vec![ita_report, naive_report]
+}
+
+/// Shared command-line options of the sweep binaries.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Run the reduced CI-smoke grid instead of the paper-scale one.
+    pub quick: bool,
+    /// Extend the grid to its largest (slowest) configuration.
+    pub full: bool,
+    /// Output path for the JSON report.
+    pub out: String,
+    /// Override for measured events per cell.
+    pub events: Option<usize>,
+}
+
+impl SweepOptions {
+    /// Parses `--quick`, `--full`, `--events N` and `--out PATH` from the
+    /// process arguments; `default_out` names the report file.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown arguments, so CI fails loudly
+    /// on typos rather than silently running the wrong grid.
+    pub fn from_args(default_out: &str) -> Self {
+        let mut options = Self {
+            quick: false,
+            full: false,
+            out: default_out.to_string(),
+            events: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => options.quick = true,
+                "--full" => options.full = true,
+                "--out" => {
+                    options.out = args.next().unwrap_or_else(|| {
+                        panic!("--out requires a path");
+                    })
+                }
+                "--events" => {
+                    let value = args.next().unwrap_or_else(|| {
+                        panic!("--events requires a count");
+                    });
+                    options.events =
+                        Some(value.parse().unwrap_or_else(|_| {
+                            panic!("--events requires an integer, got {value:?}")
+                        }));
+                }
+                other => panic!(
+                    "unknown argument {other:?}; supported: --quick --full --events N --out PATH"
+                ),
+            }
+        }
+        options
+    }
+}
+
+/// The Figure 3(a) grid: query count sweep at a fixed window.
+pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
+    let cells: Vec<SweepSettings> = if options.quick {
+        let events = options.events.unwrap_or(200);
+        [10, 25, 50]
+            .iter()
+            .map(|&n| SweepSettings::quick(n, 200, events))
+            .collect()
+    } else {
+        let events = options.events.unwrap_or(2_000);
+        [100, 250, 500, 1_000]
+            .iter()
+            .map(|&n| SweepSettings::paper(n, 10_000, events))
+            .collect()
+    };
+    cells
+}
+
+/// The Figure 3(b) grid: window sweep at the paper's 1,000 queries
+/// (`--full` extends to the 80k-document window).
+pub fn fig3b_grid(options: &SweepOptions) -> Vec<SweepSettings> {
+    if options.quick {
+        let events = options.events.unwrap_or(200);
+        return [100, 200, 400]
+            .iter()
+            .map(|&w| SweepSettings::quick(25, w, events))
+            .collect();
+    }
+    let events = options.events.unwrap_or(2_000);
+    let mut windows = vec![10_000, 20_000, 40_000];
+    if options.full {
+        windows.push(80_000);
+    }
+    windows
+        .into_iter()
+        .map(|w| SweepSettings::paper(1_000, w, events))
+        .collect()
+}
+
+/// Runs a full grid and writes the JSON report to `options.out`.
+pub fn run_sweep(
+    figure: &str,
+    description: &str,
+    grid: Vec<SweepSettings>,
+    options: &SweepOptions,
+) {
+    let template = grid.first().expect("grid has at least one cell").clone();
+    let mut report = SweepReport::new(figure, description, &template);
+    eprintln!(
+        "{figure}: {} cell(s), vocabulary {}, {} docs/s",
+        grid.len(),
+        template.corpus.vocabulary_size,
+        template.arrival_rate_per_sec
+    );
+    for settings in &grid {
+        report.cells.extend(run_cell(settings));
+    }
+    let out = options.out.clone();
+    report.write(&out).expect("report file is writable");
+    eprintln!("{figure}: wrote {out}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_cell_runs_end_to_end_and_self_checks() {
+        let settings = SweepSettings::quick(8, 60, 40);
+        let cells = run_cell(&settings);
+        assert_eq!(cells.len(), 2);
+        let (ita, naive) = (&cells[0], &cells[1]);
+        assert_eq!(ita.engine, "ita");
+        assert_eq!(naive.engine, "naive");
+        assert_eq!(ita.measured_events, 40);
+        assert_eq!(naive.measured_events, 40);
+        // Steady state: every arrival expires exactly one document.
+        assert_eq!(ita.expirations, 40);
+        assert!(ita.mean_event_micros > 0.0);
+        assert!(ita.index_postings.unwrap() > 0);
+        assert!(naive.recomputations.is_some());
+        assert!(naive.self_check.starts_with("ok ("));
+        // The headline claim, visible even at toy scale: ITA touches fewer
+        // (query, update) pairs per event than the all-queries baseline.
+        assert!(ita.queries_touched_per_event < naive.queries_touched_per_event);
+    }
+
+    #[test]
+    fn reports_serialise_to_json() {
+        let settings = SweepSettings::quick(4, 30, 10);
+        let mut report = SweepReport::new("fig3x", "test sweep", &settings);
+        report.cells.extend(run_cell(&settings));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"figure\":\"fig3x\""));
+        assert!(json.contains("\"engine\":\"ita\""));
+        assert!(json.contains("\"mean_event_micros\""));
+    }
+
+    #[test]
+    fn grids_have_the_documented_shape() {
+        let paper = SweepOptions {
+            quick: false,
+            full: false,
+            out: String::new(),
+            events: None,
+        };
+        let quick = SweepOptions {
+            quick: true,
+            ..paper.clone()
+        };
+        let full = SweepOptions {
+            full: true,
+            ..paper.clone()
+        };
+        let a = fig3a_grid(&paper);
+        assert_eq!(
+            a.iter().map(|s| s.num_queries).collect::<Vec<_>>(),
+            vec![100, 250, 500, 1_000]
+        );
+        assert!(a.iter().all(|s| s.window_docs == 10_000));
+        assert!(fig3a_grid(&quick).iter().all(|s| s.window_docs < 1_000));
+        let b = fig3b_grid(&paper);
+        assert_eq!(
+            b.iter().map(|s| s.window_docs).collect::<Vec<_>>(),
+            vec![10_000, 20_000, 40_000]
+        );
+        assert!(b.iter().all(|s| s.num_queries == 1_000));
+        assert_eq!(fig3b_grid(&full).last().unwrap().window_docs, 80_000);
+    }
+}

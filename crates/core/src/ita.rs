@@ -32,16 +32,17 @@
 //! the paper's: every valid document outside `R` scores at most
 //! `τ ≤ S_k`, so the top-k inside `R` is the true top-k.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-
 use serde::{Deserialize, Serialize};
 
-use cts_index::{DocId, Document, InvertedIndex, QueryId, SlidingWindow, ThresholdTree, Timestamp};
+use cts_index::{
+    DocId, Document, InvertedIndex, QueryId, SlidingWindow, TermArena, ThresholdTree, Timestamp,
+};
 use cts_text::{TermId, Weight};
 
 use crate::engine::{Engine, EventOutcome};
 use crate::query::ContinuousQuery;
 use crate::result::{RankedDocument, ResultSet};
+use crate::slab::QuerySlab;
 
 /// Tuning knobs of the [`ItaEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,9 +112,13 @@ pub struct ItaEngine {
     window: SlidingWindow,
     config: ItaConfig,
     index: InvertedIndex,
-    /// One threshold tree per term that occurs in at least one query.
-    trees: HashMap<TermId, ThresholdTree>,
-    queries: BTreeMap<QueryId, QueryState>,
+    /// One threshold tree per term that occurs in at least one query,
+    /// in a dense term-id-indexed arena (terms are interned small integers).
+    trees: TermArena<ThresholdTree>,
+    queries: QuerySlab<QueryState>,
+    /// Reused per-event buffer for the affected-query probe; kept on the
+    /// engine so steady-state event processing allocates nothing.
+    scratch: Vec<QueryId>,
     next_query: u32,
     clock: Timestamp,
 }
@@ -125,8 +130,9 @@ impl ItaEngine {
             window,
             config,
             index: InvertedIndex::new(),
-            trees: HashMap::new(),
-            queries: BTreeMap::new(),
+            trees: TermArena::new(),
+            queries: QuerySlab::new(),
+            scratch: Vec::new(),
             next_query: 0,
             clock: Timestamp::ZERO,
         }
@@ -144,7 +150,7 @@ impl ItaEngine {
 
     /// A snapshot of `query`'s bookkeeping, if it is registered.
     pub fn query_stats(&self, query: QueryId) -> Option<ItaQueryStats> {
-        let state = self.queries.get(&query)?;
+        let state = self.queries.get(query)?;
         Some(ItaQueryStats {
             result_set_size: state.results.len(),
             kth_score: state.results.kth_score(state.query.k()),
@@ -157,11 +163,25 @@ impl ItaEngine {
         })
     }
 
+    /// A point-in-time summary of the inverted index (documents, lists,
+    /// postings). Exposed for the sweep harness and soak tests.
+    pub fn index_stats(&self) -> cts_index::IndexStats {
+        self.index.stats()
+    }
+
+    /// Iterates over the currently valid documents in arrival order.
+    /// Exposed so validation harnesses (e.g. the paper-scale soak) can
+    /// re-evaluate queries against the engine's own window without keeping a
+    /// second copy of it.
+    pub fn store_documents(&self) -> impl Iterator<Item = &Document> {
+        self.index.store().iter()
+    }
+
     /// The local threshold `θ_{Q,t}`, if `query` is registered and contains
     /// `term`. Exposed for tests and benchmarks.
     pub fn local_threshold(&self, query: QueryId, term: TermId) -> Option<Weight> {
         self.queries
-            .get(&query)?
+            .get(query)?
             .thresholds
             .iter()
             .find(|(t, _)| *t == term)
@@ -171,11 +191,11 @@ impl ItaEngine {
     /// Runs (or resumes) the threshold search for `qid` until `S_k ≥ τ`,
     /// then reconciles the per-list threshold trees with the new frontier.
     fn run_threshold_search(&mut self, qid: QueryId, register: bool) {
-        let state = self.queries.get_mut(&qid).expect("query exists");
+        let state = self.queries.get_mut(qid).expect("query exists");
         let before: Vec<Weight> = state.thresholds.iter().map(|(_, theta)| *theta).collect();
         threshold_descent(&self.index, state);
         for ((term, after), before) in state.thresholds.iter().zip(before) {
-            let tree = self.trees.entry(*term).or_default();
+            let tree = self.trees.get_or_default(*term);
             if register {
                 tree.insert(qid, *after);
             } else if before != *after {
@@ -184,28 +204,32 @@ impl ItaEngine {
         }
     }
 
-    /// Collects the queries whose frontier `composition` crosses: every `Q`
-    /// with `θ_{Q,t} ≤ w_{d,t}` for at least one term `t` of the document.
-    fn affected_queries(&self, composition: &cts_text::WeightedVector) -> BTreeSet<QueryId> {
-        let mut affected = BTreeSet::new();
-        for entry in composition.iter() {
-            if let Some(tree) = self.trees.get(&entry.term) {
-                for hit in tree.affected_by(Weight::new(entry.weight)) {
-                    affected.insert(hit.query);
-                }
+    /// Fills `self.scratch` with the queries whose frontier `composition`
+    /// crosses — every `Q` with `θ_{Q,t} ≤ w_{d,t}` for at least one term `t`
+    /// of the document — sorted by query id and deduplicated. Probing is one
+    /// arena index plus one `partition_point` per term; the buffer is reused
+    /// across events so the hot path performs no allocation.
+    fn collect_affected_queries(&mut self, composition: &cts_text::WeightedVector) {
+        self.scratch.clear();
+        for entry in composition.as_slice() {
+            if let Some(tree) = self.trees.get(entry.term) {
+                self.scratch
+                    .extend(tree.affected_by(entry.weight).map(|hit| hit.query));
             }
         }
-        affected
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
     }
 
     /// Handles the arrival side of one stream event. The document is already
     /// in the index. Returns `(queries_touched, results_changed)`.
     fn handle_arrival(&mut self, doc: &Document) -> (usize, usize) {
-        let affected = self.affected_queries(&doc.composition);
+        self.collect_affected_queries(&doc.composition);
+        let affected = std::mem::take(&mut self.scratch);
         let touched = affected.len();
         let mut changed = 0;
-        for qid in affected {
-            let state = self.queries.get_mut(&qid).expect("tree entries are live");
+        for &qid in &affected {
+            let state = self.queries.get_mut(qid).expect("tree entries are live");
             state.arrivals_examined += 1;
             state.postings_examined += 1;
             let score = state.query.score(&doc.composition);
@@ -217,17 +241,19 @@ impl ItaEngine {
                 }
             }
         }
+        self.scratch = affected;
         (touched, changed)
     }
 
     /// Handles one expiration. The document has already been removed from
     /// the index. Returns `(queries_touched, results_changed)`.
     fn handle_expiration(&mut self, doc: &Document) -> (usize, usize) {
-        let affected = self.affected_queries(&doc.composition);
+        self.collect_affected_queries(&doc.composition);
+        let affected = std::mem::take(&mut self.scratch);
         let touched = affected.len();
         let mut changed = 0;
-        for qid in affected {
-            let state = self.queries.get_mut(&qid).expect("tree entries are live");
+        for &qid in &affected {
+            let state = self.queries.get_mut(qid).expect("tree entries are live");
             state.expirations_examined += 1;
             if !state.results.contains(doc.id) {
                 // The document sat exactly on the frontier without having
@@ -242,6 +268,7 @@ impl ItaEngine {
                 self.run_threshold_search(qid, false);
             }
         }
+        self.scratch = affected;
         (touched, changed)
     }
 
@@ -249,7 +276,7 @@ impl ItaEngine {
     /// influence threshold stays at or below `S_k`, evicting unverified
     /// documents whose only support was the reclaimed band (paper §III-C).
     fn roll_up(&mut self, qid: QueryId) {
-        let state = self.queries.get_mut(&qid).expect("query exists");
+        let state = self.queries.get_mut(qid).expect("query exists");
         let k = state.query.k();
         loop {
             let s_k = state.results.kth_score(k);
@@ -295,9 +322,10 @@ impl ItaEngine {
                     .get(doc)
                     .expect("banded documents are valid")
                     .composition;
-                let supported = state.thresholds.iter().any(|(t, theta)| {
-                    Weight::new(composition.weight(*t)) >= *theta && composition.contains(*t)
-                });
+                let supported = state
+                    .thresholds
+                    .iter()
+                    .any(|(t, theta)| composition.impact(*t) >= *theta && composition.contains(*t));
                 if !supported {
                     debug_assert!(
                         !state.results.is_in_top_k(doc, k),
@@ -308,7 +336,7 @@ impl ItaEngine {
             }
             state.rollups += 1;
             self.trees
-                .get_mut(&term)
+                .get_mut(term)
                 .expect("tree exists for query term")
                 .update(qid, old_theta, new_theta);
         }
@@ -419,14 +447,14 @@ impl Engine for ItaEngine {
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
-        let Some(state) = self.queries.remove(&query) else {
+        let Some(state) = self.queries.remove(query) else {
             return false;
         };
         for (term, theta) in &state.thresholds {
-            if let Some(tree) = self.trees.get_mut(term) {
+            if let Some(tree) = self.trees.get_mut(*term) {
                 tree.remove(query, *theta);
                 if tree.is_empty() {
-                    self.trees.remove(term);
+                    self.trees.remove(*term);
                 }
             }
         }
@@ -463,7 +491,7 @@ impl Engine for ItaEngine {
 
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
         self.queries
-            .get(&query)
+            .get(query)
             .map(|state| state.results.top(state.query.k()))
             .unwrap_or_default()
     }
@@ -675,7 +703,7 @@ mod tests {
                     (3 + (i % 2) as u32, 0.2),
                 ],
             ));
-            let state = &e.queries[&q];
+            let state = e.queries.get(q).unwrap();
             for (term, theta) in &state.thresholds {
                 if let Some(list) = e.index.list(*term) {
                     for p in list.iter() {

@@ -56,6 +56,7 @@ pub mod oracle;
 pub mod query;
 pub mod result;
 pub mod server;
+pub mod slab;
 pub mod validate;
 
 pub use engine::{Engine, EventOutcome, RankedDocument};
@@ -66,3 +67,4 @@ pub use oracle::BruteForceOracle;
 pub use query::ContinuousQuery;
 pub use result::ResultSet;
 pub use server::MonitoringServer;
+pub use slab::QuerySlab;

@@ -14,8 +14,6 @@
 //! [`EventOutcome::queries_touched_by_arrival`]); the view merely caps how
 //! much work each touch performs.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use cts_index::{DocumentStore, QueryId, SlidingWindow, Timestamp};
@@ -23,6 +21,7 @@ use cts_index::{DocumentStore, QueryId, SlidingWindow, Timestamp};
 use crate::engine::{Engine, EventOutcome};
 use crate::query::ContinuousQuery;
 use crate::result::{RankedDocument, ResultSet};
+use crate::slab::QuerySlab;
 
 /// Tuning knobs of the [`NaiveEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,7 +67,9 @@ pub struct NaiveEngine {
     window: SlidingWindow,
     config: NaiveConfig,
     store: DocumentStore,
-    queries: BTreeMap<QueryId, ViewState>,
+    /// Per-query views in a dense slab: the baseline sweeps every view on
+    /// every event, so iteration cost is the engine's defining term.
+    queries: QuerySlab<ViewState>,
     next_query: u32,
     clock: Timestamp,
     /// Full view recomputations performed (exposed for benchmarks).
@@ -82,7 +83,7 @@ impl NaiveEngine {
             window,
             config,
             store: DocumentStore::new(),
-            queries: BTreeMap::new(),
+            queries: QuerySlab::new(),
             next_query: 0,
             clock: Timestamp::ZERO,
             recomputations: 0,
@@ -101,7 +102,7 @@ impl NaiveEngine {
 
     /// Current size of `query`'s materialised view (top-k plus buffer).
     pub fn view_size(&self, query: QueryId) -> Option<usize> {
-        self.queries.get(&query).map(|s| s.view.len())
+        self.queries.get(query).map(|s| s.view.len())
     }
 
     /// Rebuilds `state`'s view from scratch by scanning the valid documents.
@@ -137,7 +138,7 @@ impl Engine for NaiveEngine {
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
-        self.queries.remove(&query).is_some()
+        self.queries.remove(query).is_some()
     }
 
     fn process_document(&mut self, doc: cts_index::Document) -> EventOutcome {
@@ -213,7 +214,7 @@ impl Engine for NaiveEngine {
 
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
         self.queries
-            .get(&query)
+            .get(query)
             .map(|state| state.view.top(state.query.k()))
             .unwrap_or_default()
     }

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use cts_text::weighting::Scoring;
-use cts_text::{dot_product, Dictionary, TermId, TermVector, Weight, WeightedVector};
+use cts_text::{query_document_score, Dictionary, TermId, TermVector, Weight, WeightedVector};
 
 /// A registered continuous top-k text query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,18 +78,24 @@ impl ContinuousQuery {
 
     /// The weight `w_{Q,t}` of `term` (0 if the query does not contain it).
     pub fn weight(&self, term: TermId) -> Weight {
-        Weight::new(self.weights.weight(term))
+        self.weights.impact(term)
     }
 
     /// Iterates over the query terms and their weights.
     pub fn terms(&self) -> impl Iterator<Item = (TermId, Weight)> + '_ {
-        self.weights.iter().map(|e| (e.term, Weight::new(e.weight)))
+        self.weights.iter().map(|e| (e.term, e.weight))
     }
 
     /// Scores a document composition list against this query:
     /// `S(d|Q) = Σ_{t∈Q} w_{Q,t} · w_{d,t}`.
+    ///
+    /// Queries are short (the paper uses 4–40 terms) while newswire
+    /// composition lists run to hundreds of entries, so this uses the
+    /// asymmetry-adaptive product: per-term binary probes of the composition
+    /// list when the query is much shorter, the linear merge otherwise. Both
+    /// paths are bit-identical (see `cts_text::score`).
     pub fn score(&self, composition: &WeightedVector) -> f64 {
-        dot_product(&self.weights, composition)
+        query_document_score(&self.weights, composition)
     }
 }
 

@@ -107,6 +107,52 @@ where
     }
 }
 
+/// Captures the current top-k of every query in `queries`, in order. Use
+/// this when two engines cannot be alive at the same time (e.g. the
+/// paper-scale sweep harness runs them sequentially to halve peak memory):
+/// snapshot the first engine, drop it, then compare the snapshot against the
+/// second with [`compare_to_snapshot`].
+pub fn snapshot_results<E: Engine>(engine: &E, queries: &[QueryId]) -> Vec<Vec<RankedDocument>> {
+    queries.iter().map(|&q| engine.current_results(q)).collect()
+}
+
+/// Compares `candidate`'s current results against a snapshot previously
+/// taken with [`snapshot_results`] over the same `queries`, returning the
+/// first divergence found.
+pub fn compare_to_snapshot<C: Engine>(
+    reference_name: &'static str,
+    snapshot: &[Vec<RankedDocument>],
+    candidate: &C,
+    queries: &[QueryId],
+    tolerance: f64,
+) -> Result<(), Box<Divergence>> {
+    assert_eq!(
+        snapshot.len(),
+        queries.len(),
+        "snapshot and query list must be parallel"
+    );
+    for (&query, expected) in queries.iter().zip(snapshot) {
+        let actual = candidate.current_results(query);
+        if !results_match(expected, &actual, tolerance) {
+            return Err(Box::new(Divergence {
+                query,
+                reference_name,
+                candidate_name: candidate.name(),
+                reference: expected.clone(),
+                candidate: actual,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Every `stride`-th query of `queries` (always including the first), the
+/// sampling used by paper-scale self-checks where comparing all 1,000
+/// queries after every cell would dominate the run.
+pub fn sample_queries(queries: &[QueryId], stride: usize) -> Vec<QueryId> {
+    queries.iter().step_by(stride.max(1)).copied().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +206,47 @@ mod tests {
             assert_engines_agree(&oracle, &ita, &queries);
             assert_engines_agree(&oracle, &naive, &queries);
         }
+    }
+
+    #[test]
+    fn snapshot_comparison_matches_live_comparison() {
+        let window = SlidingWindow::count_based(5);
+        let mut a = BruteForceOracle::new(window);
+        let mut b = BruteForceOracle::new(window);
+        let q = a.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        b.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        for i in 0..8u64 {
+            let d = Document::new(
+                DocId(i),
+                Timestamp::from_millis(i),
+                WeightedVector::from_weights([(TermId(1), 0.1 * (i % 4 + 1) as f64)]),
+            );
+            a.process_document(d.clone());
+            b.process_document(d);
+        }
+        let queries = [q];
+        let snap = snapshot_results(&a, &queries);
+        compare_to_snapshot("oracle-a", &snap, &b, &queries, DEFAULT_TOLERANCE)
+            .expect("identical streams must match");
+        // Perturb b and the snapshot comparison must notice.
+        b.process_document(Document::new(
+            DocId(99),
+            Timestamp::from_millis(99),
+            WeightedVector::from_weights([(TermId(1), 9.0)]),
+        ));
+        let err = compare_to_snapshot("oracle-a", &snap, &b, &queries, DEFAULT_TOLERANCE)
+            .expect_err("divergence must be reported");
+        assert_eq!(err.query, q);
+        assert_eq!(err.reference_name, "oracle-a");
+    }
+
+    #[test]
+    fn sample_queries_takes_every_stride_th() {
+        let ids: Vec<QueryId> = (0..10).map(QueryId).collect();
+        let sampled = sample_queries(&ids, 4);
+        assert_eq!(sampled, vec![QueryId(0), QueryId(4), QueryId(8)]);
+        assert_eq!(sample_queries(&ids, 0).len(), 10);
+        assert!(sample_queries(&[], 3).is_empty());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Release-mode paper-scale soak: the ROADMAP's "1,000 queries, 10k+
+//! windows, 182k terms" configuration, run as an `#[ignore]`d test so the
+//! default `cargo test` stays fast. CI runs it in a dedicated job:
+//!
+//! ```text
+//! cargo test --release -p cts-core --test paper_scale_soak -- --ignored
+//! ```
+//!
+//! The soak fills a 10,000-document count-based window from the synthetic
+//! WSJ-like stream (181,978-term vocabulary, log-normal document lengths),
+//! registers 1,000 ten-term queries with `k = 10`, streams thousands of
+//! steady-state events through [`ItaEngine`], and periodically verifies a
+//! sample of queries against a from-scratch brute-force evaluation of the
+//! engine's own window — plus the ITA frontier invariant (`τ ≤ S_k` for
+//! every saturated query). A full per-event oracle at this scale would cost
+//! ~10M score evaluations per event; sampling keeps the soak to a couple of
+//! minutes while still catching any incremental-maintenance drift.
+
+use cts_core::{ContinuousQuery, Engine, ItaConfig, ItaEngine};
+use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
+use cts_index::{QueryId, SlidingWindow};
+use cts_text::weighting::Scoring;
+use cts_text::Dictionary;
+
+const NUM_QUERIES: usize = 1_000;
+const WINDOW_DOCS: usize = 10_000;
+const SOAK_EVENTS: usize = 4_000;
+const CHECK_EVERY: usize = 500;
+/// Queries re-verified per checkpoint (spread across the id space).
+const SAMPLE: usize = 25;
+
+/// Recomputes `query`'s true top-k by scoring every valid document in the
+/// engine's own store, mirroring `BruteForceOracle` without paying for a
+/// second copy of the 10k-document window.
+fn brute_force_top(engine: &ItaEngine, query: &ContinuousQuery) -> Vec<(u64, f64)> {
+    let mut results = cts_core::ResultSet::new();
+    for doc in engine.store_documents() {
+        let score = query.score(&doc.composition);
+        if score > 0.0 {
+            results.insert(doc.id, score);
+        }
+    }
+    results
+        .top(query.k())
+        .iter()
+        .map(|r| (r.doc.0, r.score))
+        .collect()
+}
+
+#[test]
+#[ignore = "paper-scale soak: minutes in release mode; run via cargo test --release -- --ignored"]
+fn ita_survives_a_paper_scale_soak() {
+    let corpus = CorpusConfig {
+        seed: 0x50AC_0001,
+        ..CorpusConfig::default()
+    };
+    assert_eq!(corpus.vocabulary_size, 181_978, "paper-scale vocabulary");
+    let workload = QueryWorkload::new(
+        WorkloadConfig {
+            num_queries: NUM_QUERIES,
+            query_length: 10,
+            k: 10,
+            popularity_biased: false,
+            seed: 0x50AC_0002,
+        },
+        corpus.vocabulary_size,
+    );
+    let dict = Dictionary::new();
+    let queries: Vec<ContinuousQuery> = workload
+        .generate()
+        .iter()
+        .map(|spec| {
+            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
+        })
+        .collect();
+
+    let mut stream = DocumentStream::new(
+        corpus,
+        StreamConfig {
+            arrival_rate_per_sec: 200.0,
+            seed: 0x50AC_0003,
+        },
+    );
+    let mut engine = ItaEngine::new(
+        SlidingWindow::count_based(WINDOW_DOCS),
+        ItaConfig::default(),
+    );
+
+    // Fill the window, then install the paper's workload.
+    for _ in 0..WINDOW_DOCS {
+        engine.process_document(stream.next_document());
+    }
+    let qids: Vec<QueryId> = queries.iter().map(|q| engine.register(q.clone())).collect();
+    assert_eq!(engine.num_queries(), NUM_QUERIES);
+    assert_eq!(engine.num_valid_documents(), WINDOW_DOCS);
+
+    let sample_stride = (NUM_QUERIES / SAMPLE).max(1);
+    for event in 1..=SOAK_EVENTS {
+        let outcome = engine.process_document(stream.next_document());
+        assert_eq!(outcome.expired, 1, "steady state expires exactly one doc");
+        assert_eq!(engine.num_valid_documents(), WINDOW_DOCS);
+
+        if event % CHECK_EVERY != 0 {
+            continue;
+        }
+        // Spot-check: sampled queries must match a from-scratch evaluation.
+        for (qid, query) in qids.iter().zip(&queries).step_by(sample_stride) {
+            let reported: Vec<(u64, f64)> = engine
+                .current_results(*qid)
+                .iter()
+                .map(|r| (r.doc.0, r.score))
+                .collect();
+            let expected = brute_force_top(&engine, query);
+            assert_eq!(
+                reported.len(),
+                expected.len(),
+                "event {event}, {qid}: result length diverged"
+            );
+            for (i, ((rd, rs), (ed, es))) in reported.iter().zip(&expected).enumerate() {
+                assert_eq!(rd, ed, "event {event}, {qid}: rank {i} document diverged");
+                assert!(
+                    (rs - es).abs() <= 1e-9,
+                    "event {event}, {qid}: rank {i} score diverged ({rs} vs {es})"
+                );
+            }
+            // The paper's frontier invariant: for a saturated top-k,
+            // τ = Σ w_{Q,t}·θ_{Q,t} never exceeds S_k.
+            let stats = engine.query_stats(*qid).expect("query registered");
+            if stats.result_set_size >= query.k() {
+                assert!(
+                    stats.influence_threshold <= stats.kth_score + 1e-9,
+                    "event {event}, {qid}: τ={} > S_k={}",
+                    stats.influence_threshold,
+                    stats.kth_score
+                );
+            }
+        }
+        eprintln!("soak: event {event}/{SOAK_EVENTS} verified");
+    }
+
+    // The index tracked the churn exactly: stats stay at window scale.
+    let stats = engine.index_stats();
+    assert_eq!(stats.documents, WINDOW_DOCS);
+    assert!(stats.postings > WINDOW_DOCS, "postings track the window");
+    assert!(stats.longest_list <= WINDOW_DOCS);
+}

@@ -132,7 +132,7 @@ mod tests {
             Scoring::Bm25(Bm25Model::with_average_doc_len(40.0)),
         );
         for d in s.take_documents(10) {
-            assert!(d.composition.iter().all(|e| e.weight > 0.0));
+            assert!(d.composition.iter().all(|e| e.weight.get() > 0.0));
         }
     }
 

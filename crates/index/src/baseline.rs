@@ -1,0 +1,246 @@
+//! Retained B-tree baselines for the flat-array core structures.
+//!
+//! PR 1 backed [`crate::InvertedList`] and [`crate::ThresholdTree`] with
+//! `BTreeSet`s; PR 2 rebuilt them as sorted `Vec`s so the hot probes and
+//! descents are contiguous scans. The original node-based implementations are
+//! preserved here — *only* as the comparison arm of the
+//! `ablation_threshold_tree` criterion benchmark (and any future layout
+//! experiment). Production code must use the flat structures.
+//!
+//! Both layouts implement the two small traits below, so a benchmark (or a
+//! test) can drive either through identical code paths.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use cts_text::Weight;
+
+use crate::document::{DocId, QueryId};
+use crate::posting::Posting;
+use crate::threshold::ThresholdEntry;
+
+/// The impact-list operations exercised by the layout ablations: point
+/// updates plus the bounded descent that dominates ITA's refill step.
+pub trait ImpactListLayout: Default {
+    /// Inserts the posting for `doc`; `false` if it was already present.
+    fn insert(&mut self, doc: DocId, weight: Weight) -> bool;
+    /// Removes the posting for `doc`; `true` if it was present.
+    fn remove(&mut self, doc: DocId, weight: Weight) -> bool;
+    /// Number of postings.
+    fn len(&self) -> usize;
+    /// Whether the list has no postings.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Visits up to `limit` postings with weight ≤ `weight` in list order and
+    /// returns a fold of their document ids (an optimisation barrier for
+    /// benchmarks — the fold forces the traversal).
+    fn descend_at_or_below(&self, weight: Weight, limit: usize) -> u64;
+}
+
+/// The threshold-tree operations exercised by the layout ablations: the
+/// arrival-time probe and the threshold move.
+pub trait ThresholdLayout: Default {
+    /// Inserts an entry; `false` if that exact entry was present.
+    fn insert(&mut self, query: QueryId, threshold: Weight) -> bool;
+    /// Moves `query`'s entry from `old` to `new`.
+    fn update(&mut self, query: QueryId, old: Weight, new: Weight);
+    /// Number of entries.
+    fn len(&self) -> usize;
+    /// Whether the tree has no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Visits every entry with `θ ≤ weight` (the `affected_by` probe) and
+    /// returns a fold of their query ids — the fold forces a real traversal
+    /// in both layouts, mirroring the engine pushing each hit into its
+    /// scratch buffer.
+    fn probe(&self, weight: Weight) -> u64;
+}
+
+impl ImpactListLayout for crate::InvertedList {
+    fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
+        crate::InvertedList::insert(self, doc, weight)
+    }
+    fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
+        crate::InvertedList::remove(self, doc, weight)
+    }
+    fn len(&self) -> usize {
+        crate::InvertedList::len(self)
+    }
+    fn descend_at_or_below(&self, weight: Weight, limit: usize) -> u64 {
+        self.iter_at_or_below(weight)
+            .take(limit)
+            .map(|p| p.doc.0)
+            .sum()
+    }
+}
+
+impl ThresholdLayout for crate::ThresholdTree {
+    fn insert(&mut self, query: QueryId, threshold: Weight) -> bool {
+        crate::ThresholdTree::insert(self, query, threshold)
+    }
+    fn update(&mut self, query: QueryId, old: Weight, new: Weight) {
+        crate::ThresholdTree::update(self, query, old, new)
+    }
+    fn len(&self) -> usize {
+        crate::ThresholdTree::len(self)
+    }
+    fn probe(&self, weight: Weight) -> u64 {
+        self.affected_by(weight).map(|e| u64::from(e.query.0)).sum()
+    }
+}
+
+/// Key wrapper giving postings the list order: decreasing weight, then
+/// increasing document id (the PR 1 representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DescendingKey(Posting);
+
+impl Ord for DescendingKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .weight
+            .cmp(&self.0.weight)
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+impl PartialOrd for DescendingKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The PR 1 `BTreeSet`-backed impact-ordered list, kept for ablations.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeInvertedList {
+    entries: BTreeSet<DescendingKey>,
+}
+
+impl ImpactListLayout for BTreeInvertedList {
+    fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
+        self.entries
+            .insert(DescendingKey(Posting::new(doc, weight)))
+    }
+
+    fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
+        self.entries
+            .remove(&DescendingKey(Posting::new(doc, weight)))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn descend_at_or_below(&self, weight: Weight, limit: usize) -> u64 {
+        let bound = DescendingKey(Posting::new(DocId(0), weight));
+        self.entries
+            .range((Bound::Included(bound), Bound::Unbounded))
+            .take(limit)
+            .map(|k| k.0.doc.0)
+            .sum()
+    }
+}
+
+/// The PR 1 `BTreeSet`-backed threshold tree, kept for ablations.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeThresholdTree {
+    entries: BTreeSet<ThresholdEntry>,
+}
+
+impl ThresholdLayout for BTreeThresholdTree {
+    fn insert(&mut self, query: QueryId, threshold: Weight) -> bool {
+        self.entries.insert(ThresholdEntry { threshold, query })
+    }
+
+    fn update(&mut self, query: QueryId, old: Weight, new: Weight) {
+        let removed = self.entries.remove(&ThresholdEntry {
+            threshold: old,
+            query,
+        });
+        debug_assert!(removed, "threshold update for absent entry {query}");
+        self.entries.insert(ThresholdEntry {
+            threshold: new,
+            query,
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn probe(&self, weight: Weight) -> u64 {
+        let bound = ThresholdEntry {
+            threshold: weight,
+            query: QueryId::MAX,
+        };
+        self.entries
+            .range((Bound::Unbounded, Bound::Included(bound)))
+            .map(|e| u64::from(e.query.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InvertedList, ThresholdTree};
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x)
+    }
+
+    /// Drives one flat and one B-tree instance through the same operation
+    /// sequence and asserts identical observable behaviour — the property
+    /// that makes the ablation benchmark a fair comparison.
+    fn impact_layouts_agree<A: ImpactListLayout, B: ImpactListLayout>() {
+        let (mut a, mut b) = (A::default(), B::default());
+        for i in 0..200u64 {
+            let weight = w(0.001 + (i % 17) as f64 * 0.013);
+            assert_eq!(a.insert(DocId(i), weight), b.insert(DocId(i), weight));
+        }
+        for i in (0..200u64).step_by(3) {
+            let weight = w(0.001 + (i % 17) as f64 * 0.013);
+            assert_eq!(a.remove(DocId(i), weight), b.remove(DocId(i), weight));
+        }
+        assert_eq!(a.len(), b.len());
+        for probe in [0.0, 0.05, 0.1, 0.2, 1.0] {
+            for limit in [1, 8, usize::MAX] {
+                assert_eq!(
+                    a.descend_at_or_below(w(probe), limit),
+                    b.descend_at_or_below(w(probe), limit),
+                    "probe {probe} limit {limit}"
+                );
+            }
+        }
+    }
+
+    fn threshold_layouts_agree<A: ThresholdLayout, B: ThresholdLayout>() {
+        let (mut a, mut b) = (A::default(), B::default());
+        for i in 0..300u32 {
+            let theta = w((i % 89) as f64 * 0.01);
+            assert_eq!(a.insert(QueryId(i), theta), b.insert(QueryId(i), theta));
+        }
+        for i in (0..300u32).step_by(7) {
+            let old = w((i % 89) as f64 * 0.01);
+            let new = w(0.93);
+            a.update(QueryId(i), old, new);
+            b.update(QueryId(i), old, new);
+        }
+        assert_eq!(a.len(), b.len());
+        for probe in [0.0, 0.3, 0.5, 0.92, 0.93, 2.0] {
+            assert_eq!(a.probe(w(probe)), b.probe(w(probe)), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn flat_and_btree_impact_lists_agree() {
+        impact_layouts_agree::<InvertedList, BTreeInvertedList>();
+    }
+
+    #[test]
+    fn flat_and_btree_threshold_trees_agree() {
+        threshold_layouts_agree::<ThresholdTree, BTreeThresholdTree>();
+    }
+}

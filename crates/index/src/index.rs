@@ -3,15 +3,21 @@
 //! An [`InvertedIndex`] owns the valid-document store and one impact-ordered
 //! [`InvertedList`] per term seen in the window. Document arrival inserts one
 //! impact entry per composition-list term; expiration removes them again and
-//! drops empty lists, so memory tracks the window contents exactly (Figure 1
+//! frees empty lists, so memory tracks the window contents exactly (Figure 1
 //! of the paper).
-
-use std::collections::HashMap;
+//!
+//! Lists live in a dense [`TermArena`] indexed by the interned [`TermId`] —
+//! the per-term lookup performed for *every* term of *every* arriving and
+//! expiring document is a single bounds-checked array index, not a hash.
+//! Composition entries already carry validated [`Weight`]s
+//! (`cts_text::WeightedTerm`), so filing them into the lists is free of
+//! per-entry `f64` re-validation.
 
 use serde::{Deserialize, Serialize};
 
-use cts_text::{TermId, Weight};
+use cts_text::TermId;
 
+use crate::arena::TermArena;
 use crate::document::{DocId, Document};
 use crate::posting::InvertedList;
 use crate::store::DocumentStore;
@@ -20,7 +26,7 @@ use crate::store::DocumentStore;
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     store: DocumentStore,
-    lists: HashMap<TermId, InvertedList>,
+    lists: TermArena<InvertedList>,
 }
 
 impl InvertedIndex {
@@ -34,19 +40,17 @@ impl InvertedIndex {
     pub fn with_capacity(docs: usize, terms_per_doc: usize) -> Self {
         Self {
             store: DocumentStore::with_capacity(docs),
-            lists: HashMap::with_capacity(docs.saturating_mul(terms_per_doc) / 4),
+            lists: TermArena::with_capacity(docs.saturating_mul(terms_per_doc) / 4),
         }
     }
 
     /// Inserts an arriving document: stores it and adds one impact entry per
     /// composition-list term.
     pub fn insert_document(&mut self, doc: Document) {
-        for entry in doc.composition.iter() {
-            let weight = Weight::new(entry.weight);
+        for entry in doc.composition.as_slice() {
             self.lists
-                .entry(entry.term)
-                .or_default()
-                .insert(doc.id, weight);
+                .get_or_default(entry.term)
+                .insert(doc.id, entry.weight);
         }
         self.store.push(doc);
     }
@@ -56,16 +60,16 @@ impl InvertedIndex {
     /// processing by the engines. Returns `None` if `id` is not valid.
     pub fn remove_document(&mut self, id: DocId) -> Option<Document> {
         let doc = self.store.remove(id)?;
-        for entry in doc.composition.iter() {
-            let weight = Weight::new(entry.weight);
-            let empty = if let Some(list) = self.lists.get_mut(&entry.term) {
-                list.remove(id, weight);
-                list.is_empty()
-            } else {
-                false
+        for entry in doc.composition.as_slice() {
+            let empty = match self.lists.get_mut(entry.term) {
+                Some(list) => {
+                    list.remove(id, entry.weight);
+                    list.is_empty()
+                }
+                None => false,
             };
             if empty {
-                self.lists.remove(&entry.term);
+                self.lists.remove(entry.term);
             }
         }
         Some(doc)
@@ -78,7 +82,7 @@ impl InvertedIndex {
 
     /// The inverted list for `term`, if any valid document contains it.
     pub fn list(&self, term: TermId) -> Option<&InvertedList> {
-        self.lists.get(&term)
+        self.lists.get(term)
     }
 
     /// Number of valid documents.
@@ -91,20 +95,19 @@ impl InvertedIndex {
         self.lists.len()
     }
 
-    /// Iterates over `(term, list)` pairs in arbitrary order.
+    /// Iterates over `(term, list)` pairs in increasing term-id order.
     pub fn lists(&self) -> impl Iterator<Item = (TermId, &InvertedList)> {
-        self.lists.iter().map(|(t, l)| (*t, l))
+        self.lists.iter()
     }
 
     /// A point-in-time summary of the index shape.
     pub fn stats(&self) -> IndexStats {
-        let total_postings: usize = self.lists.values().map(InvertedList::len).sum();
-        let longest_list = self
-            .lists
-            .values()
-            .map(InvertedList::len)
-            .max()
-            .unwrap_or(0);
+        let mut total_postings = 0;
+        let mut longest_list = 0;
+        for (_, list) in self.lists.iter() {
+            total_postings += list.len();
+            longest_list = longest_list.max(list.len());
+        }
         IndexStats {
             documents: self.store.len(),
             terms: self.lists.len(),
@@ -180,6 +183,22 @@ mod tests {
     }
 
     #[test]
+    fn removing_the_last_posting_restores_the_empty_arena_slot() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(42, 0.5)]));
+        assert_eq!(idx.num_terms(), 1);
+        idx.remove_document(DocId(1)).unwrap();
+        // The slot is vacated, not left as an empty list...
+        assert!(idx.list(TermId(42)).is_none());
+        assert_eq!(idx.num_terms(), 0);
+        assert_eq!(idx.lists().count(), 0);
+        // ...and a later arrival with the same term reclaims it.
+        idx.insert_document(doc(2, &[(42, 0.7)]));
+        assert_eq!(idx.num_terms(), 1);
+        assert_eq!(idx.list(TermId(42)).unwrap().len(), 1);
+    }
+
+    #[test]
     fn stats_reflect_contents() {
         let mut idx = InvertedIndex::with_capacity(10, 4);
         idx.insert_document(doc(1, &[(1, 0.5), (2, 0.5)]));
@@ -221,8 +240,7 @@ mod tests {
     fn lists_iterator_covers_all_terms() {
         let mut idx = InvertedIndex::new();
         idx.insert_document(doc(1, &[(1, 0.5), (2, 0.4), (3, 0.3)]));
-        let mut terms: Vec<u32> = idx.lists().map(|(t, _)| t.0).collect();
-        terms.sort_unstable();
+        let terms: Vec<u32> = idx.lists().map(|(t, _)| t.0).collect();
         assert_eq!(terms, vec![1, 2, 3]);
     }
 }

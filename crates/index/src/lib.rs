@@ -18,12 +18,17 @@
 //!
 //! The crate knows nothing about queries' result sets or the ITA algorithm
 //! itself; that lives in `cts-core`. Everything here is deterministic, purely
-//! in-memory and designed for high update rates (insertions and removals are
-//! `O(log n)` per affected list).
+//! in-memory and designed for high update rates: the hot structures are flat
+//! sorted arrays (one binary search to locate, contiguous scans to traverse)
+//! held in dense term-id-indexed arenas ([`TermArena`]) — see DESIGN.md §6
+//! ("Memory layout & cost model"). The original `BTreeSet`-backed layouts are
+//! retained in [`baseline`] purely for the layout-ablation benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod baseline;
 pub mod document;
 pub mod index;
 pub mod posting;
@@ -31,6 +36,7 @@ pub mod store;
 pub mod threshold;
 pub mod window;
 
+pub use arena::{DenseArena, TermArena};
 pub use document::{DocId, Document, QueryId, Timestamp};
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::{InvertedList, Posting};

@@ -11,11 +11,18 @@
 //!   threshold, used by the refill step), and
 //! * point insertion/removal under document arrival and expiration.
 //!
-//! The list is backed by a `BTreeSet` with a descending-weight key; no
-//! per-entry allocation occurs beyond the tree nodes themselves.
+//! The list is a single sorted `Vec<Posting>`: every locate is one binary
+//! search (`partition_point`) and every traversal is a contiguous slice scan,
+//! which is exactly the access pattern the paper's cost model charges for —
+//! "read a prefix of `L_t`" really is a linear read of adjacent memory, with
+//! no pointer chasing and no per-entry allocation. Point updates pay a
+//! `memmove` of the list tail; impact lists are short (Zipfian vocabularies
+//! spread postings across many terms) and the contiguous layout wins back far
+//! more on the descent/probe paths, as the `ablation_threshold_tree` and
+//! `index_micro` benchmarks against the retained B-tree baseline
+//! ([`crate::baseline`]) show.
 
-use std::collections::BTreeSet;
-use std::ops::Bound;
+use std::cmp::Ordering;
 
 use serde::{Deserialize, Serialize};
 
@@ -37,33 +44,22 @@ impl Posting {
     pub fn new(doc: DocId, weight: Weight) -> Self {
         Self { weight, doc }
     }
-}
 
-/// Key wrapper giving postings the list order: decreasing weight, then
-/// increasing document id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DescendingKey(Posting);
-
-impl Ord for DescendingKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+    /// The list order: decreasing weight, then increasing document id.
+    #[inline]
+    pub(crate) fn rank(&self, other: &Posting) -> Ordering {
         other
-            .0
             .weight
-            .cmp(&self.0.weight)
-            .then_with(|| self.0.doc.cmp(&other.0.doc))
+            .cmp(&self.weight)
+            .then_with(|| self.doc.cmp(&other.doc))
     }
 }
 
-impl PartialOrd for DescendingKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// An impact-ordered inverted list for a single term.
+/// An impact-ordered inverted list for a single term, backed by a sorted
+/// `Vec` (decreasing weight, ties by increasing document id).
 #[derive(Debug, Clone, Default)]
 pub struct InvertedList {
-    entries: BTreeSet<DescendingKey>,
+    entries: Vec<Posting>,
 }
 
 impl InvertedList {
@@ -72,18 +68,44 @@ impl InvertedList {
         Self::default()
     }
 
+    /// Index of the first entry whose weight is **strictly below** `weight`
+    /// (all entries before it have weight ≥ `weight`).
+    #[inline]
+    fn first_below(&self, weight: Weight) -> usize {
+        self.entries.partition_point(|p| p.weight >= weight)
+    }
+
+    /// Index of the first entry whose weight is **at or below** `weight`
+    /// (all entries before it have weight > `weight`).
+    #[inline]
+    fn first_at_or_below(&self, weight: Weight) -> usize {
+        self.entries.partition_point(|p| p.weight > weight)
+    }
+
     /// Inserts the posting for `doc` with weight `weight`.
     /// Returns `false` if an identical posting was already present.
     pub fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
-        self.entries
-            .insert(DescendingKey(Posting::new(doc, weight)))
+        let posting = Posting::new(doc, weight);
+        match self.entries.binary_search_by(|p| p.rank(&posting)) {
+            Ok(_) => false,
+            Err(at) => {
+                self.entries.insert(at, posting);
+                true
+            }
+        }
     }
 
     /// Removes the posting for `doc` with weight `weight`.
     /// Returns `true` if the posting was present.
     pub fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
-        self.entries
-            .remove(&DescendingKey(Posting::new(doc, weight)))
+        let posting = Posting::new(doc, weight);
+        match self.entries.binary_search_by(|p| p.rank(&posting)) {
+            Ok(at) => {
+                self.entries.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Number of postings in the list.
@@ -98,34 +120,31 @@ impl InvertedList {
 
     /// The posting with the highest weight, if any.
     pub fn first(&self) -> Option<Posting> {
-        self.entries.iter().next().map(|k| k.0)
+        self.entries.first().copied()
+    }
+
+    /// The full list in decreasing-weight order, as a contiguous slice.
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.entries
     }
 
     /// Iterates over all postings in decreasing-weight order.
     pub fn iter(&self) -> impl Iterator<Item = Posting> + '_ {
-        self.entries.iter().map(|k| k.0)
+        self.entries.iter().copied()
     }
 
     /// Iterates over postings **strictly below** `weight` (i.e. `w_{d,t} <
     /// weight`), in decreasing-weight order. This is the "resume the search
     /// below the local threshold" access path of ITA's refill step.
     pub fn iter_below(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
-        // In descending order, all postings with weight == `weight` sort
-        // before the bound below, so excluding the bound skips them entirely.
-        let bound = DescendingKey(Posting::new(DocId::MAX, weight));
-        self.entries
-            .range((Bound::Excluded(bound), Bound::Unbounded))
-            .map(|k| k.0)
+        self.entries[self.first_below(weight)..].iter().copied()
     }
 
     /// Iterates over postings with weight **at or above** `weight`
     /// (`w_{d,t} ≥ weight`), in decreasing-weight order. Used by invariant
     /// checks ("every document above a local threshold is in R").
     pub fn iter_at_or_above(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
-        let bound = DescendingKey(Posting::new(DocId::MAX, weight));
-        self.entries
-            .range((Bound::Unbounded, Bound::Included(bound)))
-            .map(|k| k.0)
+        self.entries[..self.first_below(weight)].iter().copied()
     }
 
     /// Iterates over postings with weight **at or below** `weight`
@@ -134,10 +153,9 @@ impl InvertedList {
     /// may not have been visited before, so the caller skips documents that
     /// are already in its result set.
     pub fn iter_at_or_below(&self, weight: Weight) -> impl Iterator<Item = Posting> + '_ {
-        let bound = DescendingKey(Posting::new(DocId(0), weight));
-        self.entries
-            .range((Bound::Included(bound), Bound::Unbounded))
-            .map(|k| k.0)
+        self.entries[self.first_at_or_below(weight)..]
+            .iter()
+            .copied()
     }
 
     /// Iterates over postings whose weight lies in `[lower, upper)`, in
@@ -148,11 +166,9 @@ impl InvertedList {
         lower_inclusive: Weight,
         upper_exclusive: Weight,
     ) -> impl Iterator<Item = Posting> + '_ {
-        let upper = DescendingKey(Posting::new(DocId::MAX, upper_exclusive));
-        let lower = DescendingKey(Posting::new(DocId::MAX, lower_inclusive));
-        self.entries
-            .range((Bound::Excluded(upper), Bound::Included(lower)))
-            .map(|k| k.0)
+        let start = self.first_below(upper_exclusive);
+        let end = self.first_below(lower_inclusive).max(start);
+        self.entries[start..end].iter().copied()
     }
 
     /// The posting immediately following `previous` in descending order
@@ -161,11 +177,13 @@ impl InvertedList {
     pub fn next_after(&self, previous: Option<Posting>) -> Option<Posting> {
         match previous {
             None => self.first(),
-            Some(p) => self
-                .entries
-                .range((Bound::Excluded(DescendingKey(p)), Bound::Unbounded))
-                .next()
-                .map(|k| k.0),
+            Some(p) => {
+                let at = match self.entries.binary_search_by(|e| e.rank(&p)) {
+                    Ok(at) => at + 1,
+                    Err(at) => at,
+                };
+                self.entries.get(at).copied()
+            }
         }
     }
 
@@ -174,14 +192,9 @@ impl InvertedList {
     /// This is the `c_t` used when rolling local thresholds *up* (the paper's
     /// "the ct values are defined by the preceding entry in Lt").
     pub fn lowest_above(&self, weight: Weight) -> Option<Posting> {
-        // In descending order every posting with weight > `weight` sorts
-        // strictly before (weight, DocId(0)), the smallest key of weight
-        // exactly `weight`; the last such posting is the one we want.
-        let bound = DescendingKey(Posting::new(DocId(0), weight));
-        self.entries
-            .range((Bound::Unbounded, Bound::Excluded(bound)))
-            .next_back()
-            .map(|k| k.0)
+        self.entries[..self.first_at_or_below(weight)]
+            .last()
+            .copied()
     }
 
     /// Returns the weight stored for `doc`, if the document appears in this
@@ -253,6 +266,17 @@ mod tests {
     }
 
     #[test]
+    fn next_after_a_removed_posting_resumes_at_its_successor() {
+        // The cursor posting need not still be in the list (its document may
+        // have expired between descent steps): `next_after` must resume at
+        // the position the posting would occupy.
+        let mut l = list(&[(7, 0.10), (1, 0.08), (5, 0.07)]);
+        let p1 = Posting::new(DocId(1), w(0.08));
+        l.remove(DocId(1), w(0.08));
+        assert_eq!(l.next_after(Some(p1)).unwrap().doc, DocId(5));
+    }
+
+    #[test]
     fn iter_below_excludes_equal_weights() {
         let l = list(&[(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]);
         let below: Vec<u64> = l.iter_below(w(0.08)).map(|p| p.doc.0).collect();
@@ -281,6 +305,12 @@ mod tests {
         assert_eq!(l.iter_weight_range(w(0.08), w(0.08)).count(), 0);
         // Full coverage.
         assert_eq!(l.iter_weight_range(w(0.0), w(1.0)).count(), 5);
+    }
+
+    #[test]
+    fn iter_weight_range_with_inverted_bounds_is_empty() {
+        let l = list(&[(9, 0.16), (7, 0.10), (1, 0.08)]);
+        assert_eq!(l.iter_weight_range(w(0.16), w(0.08)).count(), 0);
     }
 
     #[test]
@@ -319,6 +349,7 @@ mod tests {
         assert!(l.next_after(None).is_none());
         assert_eq!(l.iter_below(w(1.0)).count(), 0);
         assert_eq!(l.iter_at_or_above(w(0.0)).count(), 0);
+        assert!(l.as_slice().is_empty());
     }
 
     #[test]
@@ -328,5 +359,52 @@ mod tests {
         assert!(l.insert(DocId(1), w(0.6)));
         assert_eq!(l.weight_of(DocId(1)), Some(w(0.6)));
         assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_weight_run_at_the_head_of_the_list() {
+        // A run of equal weights at the very top: range probes must treat the
+        // whole run as one tie group on either side of the boundary.
+        let l = list(&[(3, 0.9), (1, 0.9), (2, 0.9), (4, 0.5)]);
+        let head: Vec<u64> = l.iter_at_or_above(w(0.9)).map(|p| p.doc.0).collect();
+        assert_eq!(head, vec![1, 2, 3]);
+        assert_eq!(l.iter_below(w(0.9)).count(), 1);
+        assert!(l.lowest_above(w(0.9)).is_none());
+        assert_eq!(l.lowest_above(w(0.5)).unwrap().doc, DocId(3));
+    }
+
+    #[test]
+    fn duplicate_weight_run_at_the_tail_of_the_list() {
+        let l = list(&[(1, 0.9), (7, 0.2), (5, 0.2), (6, 0.2)]);
+        let tail: Vec<u64> = l.iter_at_or_below(w(0.2)).map(|p| p.doc.0).collect();
+        assert_eq!(tail, vec![5, 6, 7]);
+        assert_eq!(l.iter_below(w(0.2)).count(), 0);
+        // Removing from the middle of the tail run keeps order intact.
+        let mut l = l;
+        assert!(l.remove(DocId(6), w(0.2)));
+        let tail: Vec<u64> = l.iter_at_or_below(w(0.2)).map(|p| p.doc.0).collect();
+        assert_eq!(tail, vec![5, 7]);
+    }
+
+    #[test]
+    fn iter_below_on_an_all_equal_weight_list_is_empty() {
+        let l = list(&[(1, 0.3), (2, 0.3), (3, 0.3)]);
+        assert_eq!(l.iter_below(w(0.3)).count(), 0);
+        assert_eq!(l.iter_at_or_below(w(0.3)).count(), 3);
+        assert_eq!(l.iter_at_or_above(w(0.3)).count(), 3);
+        assert_eq!(l.iter_weight_range(w(0.3), w(0.3)).count(), 0);
+        assert!(l.lowest_above(w(0.3)).is_none());
+        // Descent cursor walks the tie group by document id.
+        let p = l.next_after(None).unwrap();
+        assert_eq!(p.doc, DocId(1));
+        assert_eq!(l.next_after(Some(p)).unwrap().doc, DocId(2));
+    }
+
+    #[test]
+    fn as_slice_exposes_the_sorted_layout() {
+        let l = list(&[(7, 0.10), (9, 0.16), (1, 0.08)]);
+        let slice = l.as_slice();
+        assert_eq!(slice.len(), 3);
+        assert!(slice.windows(2).all(|p| p[0].weight >= p[1].weight));
     }
 }

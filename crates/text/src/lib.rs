@@ -49,7 +49,7 @@ pub mod weighting;
 
 pub use analyze::Analyzer;
 pub use dictionary::{Dictionary, TermId, TermStats};
-pub use score::{dot_product, Weight};
+pub use score::{dot_product, dot_product_lookup, query_document_score, Weight};
 pub use stem::PorterStemmer;
 pub use stopwords::StopWords;
 pub use token::{Token, Tokenizer};

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dictionary::TermId;
+use crate::score::Weight;
 
 /// A sparse vector of raw term frequencies, sorted by [`TermId`].
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,12 +101,17 @@ impl FromIterator<(TermId, u32)> for TermVector {
 }
 
 /// A single `(term, weight)` pair of a [`WeightedVector`].
+///
+/// The weight is stored as a ready-made [`Weight`] (finite, non-NaN by
+/// construction) so the index layer can file impact entries into its ordered
+/// structures without re-validating the `f64` on every document arrival and
+/// expiration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WeightedTerm {
     /// The term.
     pub term: TermId,
     /// The impact weight (`w_{d,t}` or `w_{Q,t}`).
-    pub weight: f64,
+    pub weight: Weight,
 }
 
 /// A sparse vector of impact weights, sorted by [`TermId`].
@@ -133,13 +139,16 @@ impl WeightedVector {
         let mut entries: Vec<WeightedTerm> = weights
             .into_iter()
             .filter(|(_, w)| *w > 0.0 && w.is_finite())
-            .map(|(term, weight)| WeightedTerm { term, weight })
+            .map(|(term, weight)| WeightedTerm {
+                term,
+                weight: Weight::new(weight),
+            })
             .collect();
         entries.sort_unstable_by_key(|e| e.term);
         let mut merged: Vec<WeightedTerm> = Vec::with_capacity(entries.len());
         for e in entries {
             match merged.last_mut() {
-                Some(last) if last.term == e.term => last.weight += e.weight,
+                Some(last) if last.term == e.term => last.weight = last.weight + e.weight,
                 _ => merged.push(e),
             }
         }
@@ -148,10 +157,16 @@ impl WeightedVector {
 
     /// Returns the weight of `term` (0.0 if absent).
     pub fn weight(&self, term: TermId) -> f64 {
+        self.impact(term).get()
+    }
+
+    /// Returns the weight of `term` as a [`Weight`] ([`Weight::ZERO`] if
+    /// absent). One binary search over the sorted entries.
+    pub fn impact(&self, term: TermId) -> Weight {
         self.entries
             .binary_search_by_key(&term, |e| e.term)
             .map(|i| self.entries[i].weight)
-            .unwrap_or(0.0)
+            .unwrap_or(Weight::ZERO)
     }
 
     /// Whether `term` is present with a positive weight.
@@ -183,14 +198,17 @@ impl WeightedVector {
     pub fn l2_norm(&self) -> f64 {
         self.entries
             .iter()
-            .map(|e| e.weight * e.weight)
+            .map(|e| e.weight.get() * e.weight.get())
             .sum::<f64>()
             .sqrt()
     }
 
     /// The largest weight in the vector (0.0 if empty).
     pub fn max_weight(&self) -> f64 {
-        self.entries.iter().map(|e| e.weight).fold(0.0, f64::max)
+        self.entries
+            .iter()
+            .map(|e| e.weight.get())
+            .fold(0.0, f64::max)
     }
 }
 
