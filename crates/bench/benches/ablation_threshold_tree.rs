@@ -1,18 +1,21 @@
-//! Layout ablation: the flat sorted-`Vec` core structures against the PR 1
-//! `BTreeSet` baselines retained in `cts_index::baseline` (§III-B).
+//! Layout ablation: the array-backed core structures against the PR 1
+//! `BTreeSet` baselines retained in `cts_index::baseline` (§III-B), with the
+//! impact list compared across all three layouts — flat sorted `Vec`,
+//! B-tree, and the production segmented impact list.
 //!
-//! Two structures, three population sizes each, identical generic driver
-//! code for both layouts:
+//! Identical generic driver code for every layout:
 //!
 //! * `threshold_{flat,btree}/probe/N` — the `θ_{Q,t} ≤ w` arrival probe
 //!   (one `partition_point` + prefix scan vs a B-tree range walk) over a
 //!   tree of N entries, executed for every term of every arriving document.
 //! * `threshold_{flat,btree}/update/N` — moving a query's local threshold
 //!   (roll-up / refill bookkeeping).
-//! * `impact_{flat,btree}/descent/N` — resuming a bounded descent at a
-//!   mid-list weight, the refill access path, over a list of N postings.
-//! * `impact_{flat,btree}/insert_expire/N` — one posting insertion plus one
-//!   removal (the per-term cost of a document arrival + expiration pair).
+//! * `impact_{flat,btree,segmented}/descent/N` — resuming a bounded descent
+//!   at a mid-list weight, the refill access path, over a list of N postings.
+//! * `impact_{flat,btree,segmented}/insert_expire/N` — one posting insertion
+//!   plus one removal (the per-term cost of a document arrival + expiration
+//!   pair). This is where the flat list's `memmove` grows with N while the
+//!   segmented list's stays bounded by the segment capacity.
 //!
 //! Run with `cargo bench --bench ablation_threshold_tree`.
 
@@ -21,7 +24,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cts_index::baseline::{
     BTreeInvertedList, BTreeThresholdTree, ImpactListLayout, ThresholdLayout,
 };
-use cts_index::{DocId, InvertedList, QueryId, ThresholdTree};
+use cts_index::{DocId, FlatImpactList, QueryId, SegmentedImpactList, ThresholdTree};
 use cts_text::Weight;
 
 const SIZES: [usize; 3] = [100, 1_000, 10_000];
@@ -100,8 +103,9 @@ fn bench_threshold_trees(c: &mut Criterion) {
 }
 
 fn bench_impact_lists(c: &mut Criterion) {
-    bench_impact_layout::<InvertedList>(c, "flat");
+    bench_impact_layout::<FlatImpactList>(c, "flat");
     bench_impact_layout::<BTreeInvertedList>(c, "btree");
+    bench_impact_layout::<SegmentedImpactList>(c, "segmented");
 }
 
 criterion_group!(benches, bench_threshold_trees, bench_impact_lists);

@@ -165,11 +165,24 @@ impl SweepReport {
     }
 
     /// Stamps the completion time and serialises the report to `path`.
+    ///
+    /// A system clock before the Unix epoch cannot be represented in the
+    /// report's `unix_time_secs` field; rather than silently recording 0 (an
+    /// apparently valid timestamp), the failure is surfaced as an error so
+    /// no sweep ships a corrupted timing field.
     pub fn write(mut self, path: &str) -> std::io::Result<()> {
         self.unix_time_secs = SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "system clock is before the Unix epoch by {:?}",
+                        e.duration()
+                    ),
+                )
+            })?
+            .as_secs();
         let json = serde_json::to_string(&self).expect("report serialises");
         std::fs::write(path, json)
     }
@@ -346,46 +359,61 @@ pub struct SweepOptions {
     pub events: Option<usize>,
 }
 
+/// The usage text printed when a sweep binary is invoked with bad arguments.
+pub const USAGE: &str = "usage: <sweep binary> [--quick] [--full] [--events N] [--out PATH]
+  --quick     run the reduced CI-smoke grid instead of the paper-scale one
+  --full      extend the grid to its largest (slowest) configuration
+  --events N  measured events per cell (positive integer)
+  --out PATH  output path for the JSON report";
+
 impl SweepOptions {
     /// Parses `--quick`, `--full`, `--events N` and `--out PATH` from the
-    /// process arguments; `default_out` names the report file.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on unknown arguments, so CI fails loudly
-    /// on typos rather than silently running the wrong grid.
+    /// process arguments; `default_out` names the report file. On an unknown
+    /// flag or a malformed value, prints the error and [`USAGE`] to stderr
+    /// and exits with status 2 — CI fails loudly on typos rather than
+    /// silently running the wrong grid, and a human gets usage instead of a
+    /// panic backtrace.
     pub fn from_args(default_out: &str) -> Self {
+        match Self::parse(default_out, std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("error: {message}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The argument grammar behind [`SweepOptions::from_args`], split out so
+    /// it can be unit-tested without touching the process environment.
+    fn parse(default_out: &str, args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut options = Self {
             quick: false,
             full: false,
             out: default_out.to_string(),
             events: None,
         };
-        let mut args = std::env::args().skip(1);
+        let mut args = args.peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => options.quick = true,
                 "--full" => options.full = true,
                 "--out" => {
-                    options.out = args.next().unwrap_or_else(|| {
-                        panic!("--out requires a path");
-                    })
+                    options.out = args.next().ok_or("--out requires a path")?;
                 }
                 "--events" => {
-                    let value = args.next().unwrap_or_else(|| {
-                        panic!("--events requires a count");
-                    });
-                    options.events =
-                        Some(value.parse().unwrap_or_else(|_| {
-                            panic!("--events requires an integer, got {value:?}")
-                        }));
+                    let value = args.next().ok_or("--events requires a count")?;
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| format!("--events requires an integer, got {value:?}"))?;
+                    if parsed == 0 {
+                        return Err("--events requires a positive count".to_string());
+                    }
+                    options.events = Some(parsed);
                 }
-                other => panic!(
-                    "unknown argument {other:?}; supported: --quick --full --events N --out PATH"
-                ),
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        options
+        Ok(options)
     }
 }
 
@@ -485,6 +513,46 @@ mod tests {
         assert!(json.contains("\"figure\":\"fig3x\""));
         assert!(json.contains("\"engine\":\"ita\""));
         assert!(json.contains("\"mean_event_micros\""));
+    }
+
+    fn parse(args: &[&str]) -> Result<SweepOptions, String> {
+        SweepOptions::parse("DEFAULT.json", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn argument_grammar_accepts_the_documented_flags() {
+        let options = parse(&["--quick", "--events", "50", "--out", "x.json"]).unwrap();
+        assert!(options.quick);
+        assert!(!options.full);
+        assert_eq!(options.events, Some(50));
+        assert_eq!(options.out, "x.json");
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.out, "DEFAULT.json");
+        assert_eq!(defaults.events, None);
+    }
+
+    #[test]
+    fn argument_grammar_rejects_bad_input_with_a_message() {
+        // Unknown flags and malformed values must produce an error (rendered
+        // with USAGE by from_args), never a panic or a silently-wrong grid.
+        assert!(parse(&["--typo"]).unwrap_err().contains("--typo"));
+        assert!(parse(&["--events"]).unwrap_err().contains("count"));
+        assert!(parse(&["--events", "many"]).unwrap_err().contains("many"));
+        assert!(parse(&["--events", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--out"]).unwrap_err().contains("path"));
+        assert!(USAGE.contains("--events"));
+    }
+
+    #[test]
+    fn written_reports_carry_a_real_timestamp() {
+        let settings = SweepSettings::quick(4, 30, 10);
+        let report = SweepReport::new("fig3t", "timestamp test", &settings);
+        let path = std::env::temp_dir().join("cts_sweep_timestamp_test.json");
+        report.write(path.to_str().unwrap()).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // unix_time_secs is stamped from the real clock, not the 0 sentinel.
+        assert!(!json.contains("\"unix_time_secs\":0,"));
     }
 
     #[test]

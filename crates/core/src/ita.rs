@@ -31,6 +31,16 @@
 //! The engine's per-query invariant, checked by the test suite, is exactly
 //! the paper's: every valid document outside `R` scores at most
 //! `τ ≤ S_k`, so the top-k inside `R` is the true top-k.
+//!
+//! Every list access above goes through the impact-list API of `cts_index`
+//! (`iter_at_or_below`, `iter_weight_range`, `lowest_above`, …), which since
+//! PR 3 is backed by *segmented* impact lists: descent cursors and range
+//! probes transparently cross segment boundaries — including equal-weight
+//! tie runs that a segment split leaves straddling two segments — while a
+//! head-term arrival/expiration shifts at most one segment instead of a
+//! window-length `Vec` tail. The engine code is layout-agnostic; the
+//! `ita_brute_force_agreement_beyond_segment_capacity` test pins the
+//! boundary behaviour at engine level.
 
 use serde::{Deserialize, Serialize};
 
@@ -655,6 +665,44 @@ mod tests {
                 "diverged at event {i}"
             );
         }
+    }
+
+    #[test]
+    fn ita_brute_force_agreement_beyond_segment_capacity() {
+        // A 400-document window over a 3-term vocabulary: each inverted list
+        // grows far past the default segment capacity (128), and the discrete
+        // weight palette produces tie runs much longer than one segment, so
+        // the initial descent, the refill resume after a top-k expiration,
+        // and the roll-up range probe all cross segment boundaries —
+        // including boundaries that cut straight through a tie run.
+        let mut e = engine(400);
+        let query = ContinuousQuery::from_weights([(TermId(0), 0.7), (TermId(1), 0.3)], 5);
+        let q = e.register(query.clone());
+        for i in 0..1_200u64 {
+            let w0 = 0.1 + (i % 4) as f64 * 0.2; // 4 distinct weights → long ties
+            let w1 = 0.15 + (i % 3) as f64 * 0.25;
+            e.process_document(doc(i, &[((i % 3) as u32, w0), (1, w1)]));
+            if i % 50 == 0 || i > 1_100 {
+                assert_eq!(
+                    top_ids(&e, q),
+                    brute_force_top(&e, &query),
+                    "diverged at event {i}"
+                );
+            }
+        }
+        // The window really did force multi-segment lists. Tied to the real
+        // capacity constant so this test fails loudly (instead of silently
+        // losing its purpose) if the default segment size is ever raised
+        // past what this window produces.
+        let stats = e.index_stats();
+        assert!(
+            stats.longest_list > cts_index::segmented::DEFAULT_SEGMENT_CAPACITY,
+            "longest list {} never crossed a segment boundary",
+            stats.longest_list
+        );
+        let s = e.query_stats(q).unwrap();
+        assert!(s.refills > 0, "no refill crossed a boundary");
+        assert!(s.rollups > 0, "no roll-up crossed a boundary");
     }
 
     #[test]

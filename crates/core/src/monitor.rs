@@ -48,12 +48,19 @@ impl ProcessingStats {
     }
 
     /// Mean processing time per event (zero when no events were processed).
+    ///
+    /// Computed in integer nanoseconds: `Duration / u32` would need the event
+    /// count clamped to `u32::MAX`, silently inflating the mean once more
+    /// than 2^32 events have been recorded — exactly the regime a
+    /// long-running monitor is for.
     pub fn mean_event_time(&self) -> Duration {
         if self.events == 0 {
-            Duration::ZERO
-        } else {
-            self.total_time / u32::try_from(self.events).unwrap_or(u32::MAX)
+            return Duration::ZERO;
         }
+        let mean_nanos = self.total_time.as_nanos() / u128::from(self.events);
+        // A per-event mean cannot overflow u64 nanoseconds (~584 years)
+        // unless total_time already did; saturate rather than wrap.
+        Duration::from_nanos(u64::try_from(mean_nanos).unwrap_or(u64::MAX))
     }
 
     /// Events processed per second of processing time (the paper's
@@ -231,6 +238,26 @@ mod tests {
         let delta = m.stats().delta_since(&snapshot);
         assert_eq!(delta.events, 2);
         assert_eq!(delta.expirations, 1);
+    }
+
+    #[test]
+    fn mean_event_time_is_exact_past_u32_max_events() {
+        // 3·2^32 events of exactly 1s each: the old `Duration / u32` path
+        // clamped the divisor to u32::MAX and reported ~3s.
+        let events = 3 * (1u64 << 32);
+        let stats = ProcessingStats {
+            events,
+            total_time: Duration::from_secs(events),
+            ..ProcessingStats::default()
+        };
+        assert_eq!(stats.mean_event_time(), Duration::from_secs(1));
+        // Sub-nanosecond means truncate to zero rather than misreport.
+        let tiny = ProcessingStats {
+            events: u64::MAX,
+            total_time: Duration::from_nanos(7),
+            ..ProcessingStats::default()
+        };
+        assert_eq!(tiny.mean_event_time(), Duration::ZERO);
     }
 
     #[test]

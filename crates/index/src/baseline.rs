@@ -1,14 +1,17 @@
-//! Retained B-tree baselines for the flat-array core structures.
+//! Retained B-tree baselines and the layout-ablation trait faces.
 //!
-//! PR 1 backed [`crate::InvertedList`] and [`crate::ThresholdTree`] with
+//! PR 1 backed the impact lists and [`crate::ThresholdTree`] with
 //! `BTreeSet`s; PR 2 rebuilt them as sorted `Vec`s so the hot probes and
-//! descents are contiguous scans. The original node-based implementations are
-//! preserved here — *only* as the comparison arm of the
+//! descents are contiguous scans; PR 3 segmented the impact lists so point
+//! updates stop paying a window-length `memmove`. The original node-based
+//! implementations are preserved here — *only* as the comparison arm of the
 //! `ablation_threshold_tree` criterion benchmark (and any future layout
-//! experiment). Production code must use the flat structures.
+//! experiment). Production code must use the array-backed structures.
 //!
-//! Both layouts implement the two small traits below, so a benchmark (or a
-//! test) can drive either through identical code paths.
+//! All layouts implement the two small traits below, so a benchmark (or a
+//! test) can drive any of them through identical code paths. The impact-list
+//! ablation now has three arms: flat ([`crate::FlatImpactList`]), B-tree
+//! ([`BTreeInvertedList`]) and segmented ([`crate::SegmentedImpactList`]).
 
 use std::collections::BTreeSet;
 use std::ops::Bound;
@@ -58,15 +61,33 @@ pub trait ThresholdLayout: Default {
     fn probe(&self, weight: Weight) -> u64;
 }
 
-impl ImpactListLayout for crate::InvertedList {
+impl ImpactListLayout for crate::FlatImpactList {
     fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
-        crate::InvertedList::insert(self, doc, weight)
+        crate::FlatImpactList::insert(self, doc, weight)
     }
     fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
-        crate::InvertedList::remove(self, doc, weight)
+        crate::FlatImpactList::remove(self, doc, weight)
     }
     fn len(&self) -> usize {
-        crate::InvertedList::len(self)
+        crate::FlatImpactList::len(self)
+    }
+    fn descend_at_or_below(&self, weight: Weight, limit: usize) -> u64 {
+        self.iter_at_or_below(weight)
+            .take(limit)
+            .map(|p| p.doc.0)
+            .sum()
+    }
+}
+
+impl ImpactListLayout for crate::SegmentedImpactList {
+    fn insert(&mut self, doc: DocId, weight: Weight) -> bool {
+        crate::SegmentedImpactList::insert(self, doc, weight)
+    }
+    fn remove(&mut self, doc: DocId, weight: Weight) -> bool {
+        crate::SegmentedImpactList::remove(self, doc, weight)
+    }
+    fn len(&self) -> usize {
+        crate::SegmentedImpactList::len(self)
     }
     fn descend_at_or_below(&self, weight: Weight, limit: usize) -> u64 {
         self.iter_at_or_below(weight)
@@ -185,7 +206,7 @@ impl ThresholdLayout for BTreeThresholdTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{InvertedList, ThresholdTree};
+    use crate::{FlatImpactList, SegmentedImpactList, ThresholdTree};
 
     fn w(x: f64) -> Weight {
         Weight::new(x)
@@ -236,7 +257,17 @@ mod tests {
 
     #[test]
     fn flat_and_btree_impact_lists_agree() {
-        impact_layouts_agree::<InvertedList, BTreeInvertedList>();
+        impact_layouts_agree::<FlatImpactList, BTreeInvertedList>();
+    }
+
+    #[test]
+    fn segmented_and_btree_impact_lists_agree() {
+        impact_layouts_agree::<SegmentedImpactList, BTreeInvertedList>();
+    }
+
+    #[test]
+    fn segmented_and_flat_impact_lists_agree() {
+        impact_layouts_agree::<SegmentedImpactList, FlatImpactList>();
     }
 
     #[test]

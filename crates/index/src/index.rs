@@ -1,10 +1,11 @@
 //! The streaming inverted index.
 //!
 //! An [`InvertedIndex`] owns the valid-document store and one impact-ordered
-//! [`InvertedList`] per term seen in the window. Document arrival inserts one
-//! impact entry per composition-list term; expiration removes them again and
-//! frees empty lists, so memory tracks the window contents exactly (Figure 1
-//! of the paper).
+//! [`InvertedList`] per term seen in the window (the segmented impact list by
+//! default; the flat sorted-`Vec` layout under the `flat-impact-lists`
+//! feature). Document arrival inserts one impact entry per composition-list
+//! term; expiration removes them again and frees empty lists, so memory
+//! tracks the window contents exactly (Figure 1 of the paper).
 //!
 //! Lists live in a dense [`TermArena`] indexed by the interned [`TermId`] —
 //! the per-term lookup performed for *every* term of *every* arriving and
@@ -19,8 +20,8 @@ use cts_text::TermId;
 
 use crate::arena::TermArena;
 use crate::document::{DocId, Document};
-use crate::posting::InvertedList;
 use crate::store::DocumentStore;
+use crate::InvertedList;
 
 /// The streaming inverted index over the valid documents.
 #[derive(Debug, Clone, Default)]

@@ -18,11 +18,17 @@
 //!
 //! The crate knows nothing about queries' result sets or the ITA algorithm
 //! itself; that lives in `cts-core`. Everything here is deterministic, purely
-//! in-memory and designed for high update rates: the hot structures are flat
+//! in-memory and designed for high update rates: the hot structures are
 //! sorted arrays (one binary search to locate, contiguous scans to traverse)
 //! held in dense term-id-indexed arenas ([`TermArena`]) — see DESIGN.md §6
-//! ("Memory layout & cost model"). The original `BTreeSet`-backed layouts are
-//! retained in [`baseline`] purely for the layout-ablation benchmarks.
+//! ("Memory layout & cost model"). The production [`InvertedList`] is the
+//! **segmented** impact list ([`SegmentedImpactList`]), which bounds the
+//! point-update `memmove` by the segment capacity; building with the
+//! `flat-impact-lists` cargo feature swaps in the single sorted-`Vec` layout
+//! ([`FlatImpactList`]) instead, so the fig3 sweeps can measure either
+//! backing through identical engine code. The original `BTreeSet`-backed
+//! layouts are retained in [`baseline`] purely for the layout-ablation
+//! benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +38,7 @@ pub mod baseline;
 pub mod document;
 pub mod index;
 pub mod posting;
+pub mod segmented;
 pub mod store;
 pub mod threshold;
 pub mod window;
@@ -39,7 +46,18 @@ pub mod window;
 pub use arena::{DenseArena, TermArena};
 pub use document::{DocId, Document, QueryId, Timestamp};
 pub use index::{IndexStats, InvertedIndex};
-pub use posting::{InvertedList, Posting};
+pub use posting::{FlatImpactList, Posting};
+pub use segmented::SegmentedImpactList;
 pub use store::DocumentStore;
 pub use threshold::{ThresholdEntry, ThresholdTree};
 pub use window::{SlidingWindow, WindowKind};
+
+/// The impact-list layout the engines run on (flat build).
+#[cfg(feature = "flat-impact-lists")]
+pub use posting::FlatImpactList as InvertedList;
+/// The impact-list layout the engines run on. Segmented by default; the
+/// `flat-impact-lists` feature restores the PR 2 single sorted-`Vec` layout
+/// (both expose the identical full API, so everything downstream is
+/// layout-agnostic).
+#[cfg(not(feature = "flat-impact-lists"))]
+pub use segmented::SegmentedImpactList as InvertedList;

@@ -1,6 +1,6 @@
-//! Impact-ordered inverted lists.
+//! Impact entries and the flat sorted-`Vec` impact list.
 //!
-//! An [`InvertedList`] `L_t` holds one [`Posting`] `⟨w_{d,t}, d⟩` per valid
+//! An impact list `L_t` holds one [`Posting`] `⟨w_{d,t}, d⟩` per valid
 //! document containing term `t`, ordered by **decreasing** weight (ties broken
 //! by increasing document id). The Incremental Threshold Algorithm needs
 //! three access patterns, all of which are `O(log n)` to locate plus linear in
@@ -11,16 +11,21 @@
 //!   threshold, used by the refill step), and
 //! * point insertion/removal under document arrival and expiration.
 //!
-//! The list is a single sorted `Vec<Posting>`: every locate is one binary
-//! search (`partition_point`) and every traversal is a contiguous slice scan,
-//! which is exactly the access pattern the paper's cost model charges for —
-//! "read a prefix of `L_t`" really is a linear read of adjacent memory, with
-//! no pointer chasing and no per-entry allocation. Point updates pay a
-//! `memmove` of the list tail; impact lists are short (Zipfian vocabularies
-//! spread postings across many terms) and the contiguous layout wins back far
-//! more on the descent/probe paths, as the `ablation_threshold_tree` and
-//! `index_micro` benchmarks against the retained B-tree baseline
-//! ([`crate::baseline`]) show.
+//! [`FlatImpactList`] is the single sorted `Vec<Posting>` layout of PR 2:
+//! every locate is one binary search (`partition_point`) and every traversal
+//! is a contiguous slice scan. Its weakness, measured in `BENCH_fig3a.json`,
+//! is the point update: the few head terms whose lists reach window length
+//! pay a full-tail `memmove` on every arrival and expiration, which at 10k+
+//! document windows dominates ITA's event cost. The production list is
+//! therefore the segmented layout ([`crate::SegmentedImpactList`]), which
+//! bounds the `memmove` by the segment capacity while keeping every descent a
+//! contiguous scan; the flat layout is retained with its full API as
+//!
+//! * the reference arm of the randomized differential test
+//!   (`tests/differential_impact_list.rs`),
+//! * the `impact_flat` arm of the `ablation_threshold_tree` benchmark, and
+//! * an alternative production layout behind the `flat-impact-lists` cargo
+//!   feature, so the fig3 sweeps can be re-run against either backing.
 
 use std::cmp::Ordering;
 
@@ -55,14 +60,14 @@ impl Posting {
     }
 }
 
-/// An impact-ordered inverted list for a single term, backed by a sorted
-/// `Vec` (decreasing weight, ties by increasing document id).
+/// An impact-ordered inverted list for a single term, backed by a single
+/// sorted `Vec` (decreasing weight, ties by increasing document id).
 #[derive(Debug, Clone, Default)]
-pub struct InvertedList {
+pub struct FlatImpactList {
     entries: Vec<Posting>,
 }
 
-impl InvertedList {
+impl FlatImpactList {
     /// Creates an empty list.
     pub fn new() -> Self {
         Self::default()
@@ -212,8 +217,8 @@ mod tests {
         Weight::new(x)
     }
 
-    fn list(entries: &[(u64, f64)]) -> InvertedList {
-        let mut l = InvertedList::new();
+    fn list(entries: &[(u64, f64)]) -> FlatImpactList {
+        let mut l = FlatImpactList::new();
         for &(d, x) in entries {
             assert!(l.insert(DocId(d), w(x)));
         }
@@ -247,7 +252,7 @@ mod tests {
 
     #[test]
     fn duplicate_insert_is_rejected() {
-        let mut l = InvertedList::new();
+        let mut l = FlatImpactList::new();
         assert!(l.insert(DocId(1), w(0.5)));
         assert!(!l.insert(DocId(1), w(0.5)));
         assert_eq!(l.len(), 1);
@@ -343,7 +348,7 @@ mod tests {
 
     #[test]
     fn empty_list_behaviour() {
-        let l = InvertedList::new();
+        let l = FlatImpactList::new();
         assert!(l.is_empty());
         assert!(l.first().is_none());
         assert!(l.next_after(None).is_none());

@@ -35,10 +35,13 @@ impl WindowKind {
         WindowKind::CountBased { size }
     }
 
-    /// A time-based window of the given duration.
+    /// A time-based window of the given duration, saturating at `u64::MAX`
+    /// microseconds (~584,000 years). A plain `as u64` cast here would *wrap*
+    /// a pathological `Duration` (anything above `u64::MAX` µs) to a tiny
+    /// window and silently expire the entire store.
     pub fn time(duration: Duration) -> Self {
         WindowKind::TimeBased {
-            duration_micros: duration.as_micros() as u64,
+            duration_micros: u64::try_from(duration.as_micros()).unwrap_or(u64::MAX),
         }
     }
 }
@@ -185,6 +188,33 @@ mod tests {
     #[should_panic(expected = "window duration must be positive")]
     fn zero_duration_window_is_rejected() {
         let _ = SlidingWindow::time_based(Duration::ZERO);
+    }
+
+    #[test]
+    fn oversized_duration_saturates_instead_of_wrapping() {
+        // Duration::MAX is ~5.8e14 µs beyond u64: `as u64` would wrap this to
+        // a near-zero window that expires everything. Saturation keeps it an
+        // effectively infinite window.
+        let w = SlidingWindow::time_based(Duration::MAX);
+        assert_eq!(
+            w.kind(),
+            WindowKind::TimeBased {
+                duration_micros: u64::MAX
+            }
+        );
+        let mut store = DocumentStore::new();
+        store.push(doc(0, 0));
+        assert!(w
+            .expired(&store, Timestamp::from_secs(1_000_000))
+            .is_empty());
+        // The largest representable-in-µs duration still converts exactly.
+        let exact = SlidingWindow::time_based(Duration::from_micros(u64::MAX));
+        assert_eq!(
+            exact.kind(),
+            WindowKind::TimeBased {
+                duration_micros: u64::MAX
+            }
+        );
     }
 
     #[test]
