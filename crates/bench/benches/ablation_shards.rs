@@ -1,0 +1,127 @@
+//! Ablation: worker-shard count for the sharded ITA engine.
+//!
+//! Sweeps `shards ∈ {1, 2, 4, 8}` at the paper's headline operating point —
+//! 1,000 ten-term queries (`k = 10`) over a 10,000-document count-based
+//! window on the 181,978-term synthetic WSJ-like stream — and times
+//! steady-state event processing (each arrival expires the oldest document,
+//! so every event exercises arrival fan-out, shadow-index maintenance and
+//! expiration repair in every shard). The engine is built and its window
+//! filled **outside** the timed region; the measured routine is exactly one
+//! fanned-out stream event.
+//!
+//! The 1-shard arm prices the fan-out protocol itself (one channel
+//! round-trip per event against a single term-filtered worker); the higher
+//! arms show how the per-event latency splits across cores. On a
+//! single-core host the higher arms cannot win — utilisation, not the
+//! machine, is what the sweep reports.
+//!
+//! Run with `cargo bench --bench ablation_shards`. The paper-scale setup
+//! (window fill + 1,000 registrations per arm) takes a couple of minutes;
+//! set `CTS_ABLATION_SHARDS_QUICK=1` to run a reduced point (50 queries,
+//! 400-document window) when iterating on the harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cts_core::{ContinuousQuery, Engine, ItaConfig, ShardedItaEngine};
+use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
+use cts_index::SlidingWindow;
+use cts_text::weighting::Scoring;
+use cts_text::Dictionary;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    num_queries: usize,
+    window_docs: usize,
+    corpus: CorpusConfig,
+}
+
+fn operating_point() -> Point {
+    let quick = std::env::var_os("CTS_ABLATION_SHARDS_QUICK").is_some();
+    let corpus = CorpusConfig {
+        seed: 0xAB1A_0001,
+        ..if quick {
+            CorpusConfig::small()
+        } else {
+            CorpusConfig::default()
+        }
+    };
+    Point {
+        num_queries: if quick { 50 } else { 1_000 },
+        window_docs: if quick { 400 } else { 10_000 },
+        corpus,
+    }
+}
+
+fn build_queries(point: &Point) -> Vec<ContinuousQuery> {
+    let workload = QueryWorkload::new(
+        WorkloadConfig {
+            num_queries: point.num_queries,
+            query_length: 10,
+            k: 10,
+            popularity_biased: false,
+            seed: 0xAB1A_0002,
+        },
+        point.corpus.vocabulary_size,
+    );
+    let dict = Dictionary::new();
+    workload
+        .generate()
+        .iter()
+        .map(|spec| {
+            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
+        })
+        .collect()
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let point = operating_point();
+    let queries = build_queries(&point);
+    for shards in SHARD_COUNTS {
+        let mut engine = ShardedItaEngine::new(
+            SlidingWindow::count_based(point.window_docs),
+            ItaConfig::default(),
+            shards,
+        );
+        let mut stream = DocumentStream::new(
+            point.corpus,
+            StreamConfig {
+                arrival_rate_per_sec: 200.0,
+                seed: 0xAB1A_0003,
+            },
+        );
+        for _ in 0..point.window_docs {
+            engine.process_document(stream.next_document());
+        }
+        for query in &queries {
+            engine.register(query.clone());
+        }
+        eprintln!(
+            "ablation_shards: shards={shards} ready ({} queries, {}-doc window)",
+            point.num_queries, point.window_docs
+        );
+        // Fill + registration above are untimed setup; zero the worker
+        // accumulators so the busy-time readout covers measured events only.
+        engine.reset_shard_stats();
+        c.bench_function(
+            &format!(
+                "sharded_ita/steady_state/q{}w{}/shards={shards}",
+                point.num_queries, point.window_docs
+            ),
+            |b| b.iter(|| engine.process_document(stream.next_document())),
+        );
+        // Parallel-utilisation readout next to the timing: summed worker
+        // busy time per event vs. the shard count's theoretical capacity.
+        let busy = engine.aggregate_shard_stats();
+        let events = busy.events / shards as u64;
+        if events > 0 {
+            eprintln!(
+                "sharded_ita/shards={shards}: {:.1} µs summed worker busy time per event",
+                busy.total_time.as_secs_f64() * 1e6 / events as f64
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_shard_counts);
+criterion_main!(benches);

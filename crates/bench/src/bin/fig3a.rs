@@ -7,14 +7,16 @@
 //! arrivals), register N ∈ {100, 250, 500, 1000} queries (10 terms, k = 10),
 //! then measure steady-state events — each arrival expires the oldest
 //! document — through `cts_core::Monitor`. ITA's final top-k for a sample of
-//! queries is the reference; the naïve engine must reproduce it exactly or
-//! the run panics.
+//! queries is the reference; the naïve engine **and** the sharded-ITA arm
+//! (`--shards N` worker threads over term-filtered shadow indexes) must
+//! reproduce it exactly or the run panics.
 //!
 //! Usage:
 //!   cargo run --release -p cts-bench --bin fig3a            # paper scale
 //!   cargo run --release -p cts-bench --bin fig3a -- --quick # CI smoke grid
-//!   options: --events N (measured events/cell), --out PATH (default
-//!   BENCH_fig3a.json)
+//!   cargo run --release -p cts-bench --bin fig3a -- --shards 4  # 4 workers
+//!   options: --events N (measured events/cell), --shards N (sharded-ITA
+//!   workers, default 1), --out PATH (default BENCH_fig3a.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

@@ -6,14 +6,15 @@
 //! the count-based window over {10k, 20k, 40k} documents (80k with
 //! `--full`) on the 200 docs/s synthetic WSJ-like stream, measuring
 //! steady-state events through `cts_core::Monitor`. ITA's final top-k for a
-//! sample of queries is the reference; the naïve engine must reproduce it
-//! exactly or the run panics.
+//! sample of queries is the reference; the naïve engine **and** the
+//! sharded-ITA arm (`--shards N` worker threads over term-filtered shadow
+//! indexes) must reproduce it exactly or the run panics.
 //!
 //! Usage:
 //!   cargo run --release -p cts-bench --bin fig3b            # paper scale
 //!   cargo run --release -p cts-bench --bin fig3b -- --quick # CI smoke grid
-//!   options: --full (adds the 80k window), --events N, --out PATH
-//!   (default BENCH_fig3b.json)
+//!   options: --full (adds the 80k window), --events N, --shards N
+//!   (sharded-ITA workers, default 1), --out PATH (default BENCH_fig3b.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

@@ -26,7 +26,10 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use cts_core::validate::{
     compare_to_snapshot, sample_queries, snapshot_results, DEFAULT_TOLERANCE,
 };
-use cts_core::{ContinuousQuery, Engine, ItaConfig, ItaEngine, Monitor, NaiveConfig, NaiveEngine};
+use cts_core::{
+    ContinuousQuery, Engine, ItaConfig, ItaEngine, Monitor, NaiveConfig, NaiveEngine,
+    ShardedItaEngine,
+};
 use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
 use cts_index::{QueryId, SlidingWindow};
 use cts_text::weighting::Scoring;
@@ -54,6 +57,8 @@ pub struct SweepSettings {
     pub seed: u64,
     /// Compare every `stride`-th query between the engines after the run.
     pub self_check_stride: usize,
+    /// Worker shards for the sharded-ITA arm (1 = a single worker thread).
+    pub shards: usize,
 }
 
 impl SweepSettings {
@@ -73,6 +78,7 @@ impl SweepSettings {
             k: 10,
             seed: 0xF16_3100,
             self_check_stride: 20,
+            shards: 1,
         }
     }
 
@@ -120,8 +126,16 @@ pub struct CellReport {
     pub results_changed: u64,
     /// Full view recomputations (naïve engine only).
     pub recomputations: Option<u64>,
-    /// Total impact entries in the inverted index (ITA only).
+    /// Total impact entries in the inverted index (ITA: the full index;
+    /// sharded ITA: summed across the term-filtered shadow indexes).
     pub index_postings: Option<usize>,
+    /// Worker shards (sharded-ITA arm only).
+    pub shards: Option<usize>,
+    /// Mean per-event worker busy time summed across shards, microseconds
+    /// (sharded-ITA arm only). Divide by `mean_event_micros` for parallel
+    /// utilisation; at 1 shard the difference to `mean_event_micros` is the
+    /// channel fan-out overhead.
+    pub shard_busy_per_event_micros: Option<f64>,
     /// Outcome of the cross-engine self-check (`"reference"` for the engine
     /// that produced the snapshot, `"ok (n queries)"` for the one checked
     /// against it).
@@ -145,6 +159,8 @@ pub struct SweepReport {
     pub query_length: usize,
     /// Results maintained per query.
     pub k: usize,
+    /// Worker shards used by the sharded-ITA arm of every cell.
+    pub shards: usize,
     /// One entry per (cell, engine), in execution order.
     pub cells: Vec<CellReport>,
 }
@@ -160,6 +176,7 @@ impl SweepReport {
             arrival_rate_per_sec: template.arrival_rate_per_sec,
             query_length: template.query_length,
             k: template.k,
+            shards: template.shards,
             cells: Vec::new(),
         }
     }
@@ -235,11 +252,15 @@ struct DriveOutcome<E: Engine> {
 /// Streams one engine through fill → register → measured events. Document
 /// generation happens between `process_document` calls, so the monitor's
 /// per-event timings never include it (fill_seconds, an informational
-/// total, does).
+/// total, does). `on_measure_start` runs after fill + registration and
+/// before the first measured event — the hook the sharded arm uses to zero
+/// its per-worker statistics, so worker busy time covers exactly the
+/// measured events the wall-clock mean covers.
 fn drive<E: Engine>(
     mut engine: E,
     settings: &SweepSettings,
     queries: &[ContinuousQuery],
+    on_measure_start: impl FnOnce(&mut E),
 ) -> DriveOutcome<E> {
     let mut stream = build_stream(settings);
     let start = Instant::now();
@@ -252,6 +273,7 @@ fn drive<E: Engine>(
     let query_ids: Vec<QueryId> = queries.iter().map(|q| engine.register(q.clone())).collect();
     let register_seconds = start.elapsed().as_secs_f64();
 
+    on_measure_start(&mut engine);
     let mut monitor = Monitor::new(engine);
     for _ in 0..settings.measured_events {
         monitor.process_document(stream.next_document());
@@ -282,13 +304,16 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
         results_changed: stats.results_changed,
         recomputations: None,
         index_postings: None,
+        shards: None,
+        shard_busy_per_event_micros: None,
         self_check: String::new(),
     }
 }
 
 /// Runs one cell: ITA first (its final top-k sample becomes the reference
-/// snapshot), then the naïve baseline, which must reproduce it exactly.
-/// Returns the two [`CellReport`]s in execution order.
+/// snapshot), then the naïve baseline and the sharded-ITA arm
+/// (`settings.shards` worker threads), each of which must reproduce the
+/// snapshot exactly. Returns the three [`CellReport`]s in execution order.
 ///
 /// # Panics
 ///
@@ -299,8 +324,8 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
     let window = SlidingWindow::count_based(settings.window_docs);
 
     eprintln!(
-        "  cell: {} queries, {}-doc window, {} events",
-        settings.num_queries, settings.window_docs, settings.measured_events
+        "  cell: {} queries, {}-doc window, {} events, {} shard(s)",
+        settings.num_queries, settings.window_docs, settings.measured_events, settings.shards
     );
 
     // ITA.
@@ -308,6 +333,7 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
         ItaEngine::new(window, ItaConfig::default()),
         settings,
         &queries,
+        |_| {},
     );
     let sampled = sample_queries(&outcome.query_ids, settings.self_check_stride);
     let snapshot = snapshot_results(&outcome.monitor, &sampled);
@@ -315,16 +341,17 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
     ita_report.index_postings = Some(outcome.monitor.engine().index_stats().postings);
     ita_report.self_check = "reference".to_string();
     eprintln!(
-        "    ita:   mean {:.1} µs/event, {:.1} queries touched/event",
+        "    ita:     mean {:.1} µs/event, {:.1} queries touched/event",
         ita_report.mean_event_micros, ita_report.queries_touched_per_event
     );
-    drop(outcome); // Free the index before the baseline fills its store.
+    drop(outcome); // Free the index before the next engine fills its store.
 
     // Naïve baseline, over its own identically-seeded stream.
     let outcome = drive(
         NaiveEngine::new(window, NaiveConfig::default()),
         settings,
         &queries,
+        |_| {},
     );
     if let Err(divergence) = compare_to_snapshot(
         "ita",
@@ -339,11 +366,55 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
     naive_report.recomputations = Some(outcome.monitor.engine().recomputations());
     naive_report.self_check = format!("ok ({} queries)", sampled.len());
     eprintln!(
-        "    naive: mean {:.1} µs/event, {:.1} queries touched/event",
+        "    naive:   mean {:.1} µs/event, {:.1} queries touched/event",
         naive_report.mean_event_micros, naive_report.queries_touched_per_event
     );
+    drop(outcome);
 
-    vec![ita_report, naive_report]
+    // Sharded ITA: query-partitioned worker threads over term-filtered
+    // shadow indexes, cross-checked against the same ITA snapshot.
+    let outcome = drive(
+        ShardedItaEngine::new(window, ItaConfig::default(), settings.shards),
+        settings,
+        &queries,
+        // Fill and registration are untimed setup; zero the worker stats so
+        // shard_busy_per_event_micros covers exactly the measured events.
+        ShardedItaEngine::reset_shard_stats,
+    );
+    if let Err(divergence) = compare_to_snapshot(
+        "ita",
+        &snapshot,
+        &outcome.monitor,
+        &sampled,
+        DEFAULT_TOLERANCE,
+    ) {
+        panic!("sharded-vs-single-shard self-check failed: {divergence}");
+    }
+    let mut sharded_report = base_report(settings, &outcome);
+    let engine = outcome.monitor.engine();
+    sharded_report.shards = Some(engine.num_shards());
+    sharded_report.index_postings = Some(
+        engine
+            .shard_index_stats()
+            .iter()
+            .map(|stats| stats.postings)
+            .sum(),
+    );
+    let busy = engine.aggregate_shard_stats();
+    let events = outcome.monitor.stats().events.max(1);
+    sharded_report.shard_busy_per_event_micros =
+        Some(busy.total_time.as_secs_f64() * 1e6 / events as f64);
+    sharded_report.self_check = format!("ok ({} queries)", sampled.len());
+    eprintln!(
+        "    sharded: mean {:.1} µs/event ({} shards, {:.1} µs busy/event), \
+         {:.1} queries touched/event",
+        sharded_report.mean_event_micros,
+        settings.shards,
+        sharded_report.shard_busy_per_event_micros.unwrap(),
+        sharded_report.queries_touched_per_event
+    );
+
+    vec![ita_report, naive_report, sharded_report]
 }
 
 /// Shared command-line options of the sweep binaries.
@@ -357,13 +428,17 @@ pub struct SweepOptions {
     pub out: String,
     /// Override for measured events per cell.
     pub events: Option<usize>,
+    /// Worker shards for the sharded-ITA arm of every cell.
+    pub shards: usize,
 }
 
 /// The usage text printed when a sweep binary is invoked with bad arguments.
-pub const USAGE: &str = "usage: <sweep binary> [--quick] [--full] [--events N] [--out PATH]
+pub const USAGE: &str =
+    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--out PATH]
   --quick     run the reduced CI-smoke grid instead of the paper-scale one
   --full      extend the grid to its largest (slowest) configuration
   --events N  measured events per cell (positive integer)
+  --shards N  worker shards for the sharded-ITA arm (positive integer, default 1)
   --out PATH  output path for the JSON report";
 
 impl SweepOptions {
@@ -391,6 +466,7 @@ impl SweepOptions {
             full: false,
             out: default_out.to_string(),
             events: None,
+            shards: 1,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -410,6 +486,16 @@ impl SweepOptions {
                     }
                     options.events = Some(parsed);
                 }
+                "--shards" => {
+                    let value = args.next().ok_or("--shards requires a count")?;
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| format!("--shards requires an integer, got {value:?}"))?;
+                    if parsed == 0 {
+                        return Err("--shards requires a positive count".to_string());
+                    }
+                    options.shards = parsed;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -419,7 +505,7 @@ impl SweepOptions {
 
 /// The Figure 3(a) grid: query count sweep at a fixed window.
 pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
-    let cells: Vec<SweepSettings> = if options.quick {
+    let mut cells: Vec<SweepSettings> = if options.quick {
         let events = options.events.unwrap_or(200);
         [10, 25, 50]
             .iter()
@@ -432,28 +518,36 @@ pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
             .map(|&n| SweepSettings::paper(n, 10_000, events))
             .collect()
     };
+    for cell in &mut cells {
+        cell.shards = options.shards;
+    }
     cells
 }
 
 /// The Figure 3(b) grid: window sweep at the paper's 1,000 queries
 /// (`--full` extends to the 80k-document window).
 pub fn fig3b_grid(options: &SweepOptions) -> Vec<SweepSettings> {
-    if options.quick {
+    let mut cells: Vec<SweepSettings> = if options.quick {
         let events = options.events.unwrap_or(200);
-        return [100, 200, 400]
+        [100, 200, 400]
             .iter()
             .map(|&w| SweepSettings::quick(25, w, events))
-            .collect();
+            .collect()
+    } else {
+        let events = options.events.unwrap_or(2_000);
+        let mut windows = vec![10_000, 20_000, 40_000];
+        if options.full {
+            windows.push(80_000);
+        }
+        windows
+            .into_iter()
+            .map(|w| SweepSettings::paper(1_000, w, events))
+            .collect()
+    };
+    for cell in &mut cells {
+        cell.shards = options.shards;
     }
-    let events = options.events.unwrap_or(2_000);
-    let mut windows = vec![10_000, 20_000, 40_000];
-    if options.full {
-        windows.push(80_000);
-    }
-    windows
-        .into_iter()
-        .map(|w| SweepSettings::paper(1_000, w, events))
-        .collect()
+    cells
 }
 
 /// Runs a full grid and writes the JSON report to `options.out`.
@@ -485,20 +579,35 @@ mod tests {
 
     #[test]
     fn a_tiny_cell_runs_end_to_end_and_self_checks() {
-        let settings = SweepSettings::quick(8, 60, 40);
+        let mut settings = SweepSettings::quick(8, 60, 40);
+        settings.shards = 2;
         let cells = run_cell(&settings);
-        assert_eq!(cells.len(), 2);
-        let (ita, naive) = (&cells[0], &cells[1]);
+        assert_eq!(cells.len(), 3);
+        let (ita, naive, sharded) = (&cells[0], &cells[1], &cells[2]);
         assert_eq!(ita.engine, "ita");
         assert_eq!(naive.engine, "naive");
+        assert_eq!(sharded.engine, "sharded-ita");
         assert_eq!(ita.measured_events, 40);
         assert_eq!(naive.measured_events, 40);
+        assert_eq!(sharded.measured_events, 40);
         // Steady state: every arrival expires exactly one document.
         assert_eq!(ita.expirations, 40);
+        assert_eq!(sharded.expirations, 40);
         assert!(ita.mean_event_micros > 0.0);
         assert!(ita.index_postings.unwrap() > 0);
         assert!(naive.recomputations.is_some());
         assert!(naive.self_check.starts_with("ok ("));
+        // The sharded arm reproduced the ITA snapshot exactly and reports
+        // its shard count, shadow footprint and worker busy time.
+        assert!(sharded.self_check.starts_with("ok ("));
+        assert_eq!(sharded.shards, Some(2));
+        assert!(sharded.index_postings.unwrap() > 0);
+        assert!(sharded.shard_busy_per_event_micros.unwrap() > 0.0);
+        // Query partitioning keeps the per-event work measure identical.
+        assert_eq!(
+            sharded.queries_touched_per_event,
+            ita.queries_touched_per_event
+        );
         // The headline claim, visible even at toy scale: ITA touches fewer
         // (query, update) pairs per event than the all-queries baseline.
         assert!(ita.queries_touched_per_event < naive.queries_touched_per_event);
@@ -521,14 +630,19 @@ mod tests {
 
     #[test]
     fn argument_grammar_accepts_the_documented_flags() {
-        let options = parse(&["--quick", "--events", "50", "--out", "x.json"]).unwrap();
+        let options = parse(&[
+            "--quick", "--events", "50", "--shards", "4", "--out", "x.json",
+        ])
+        .unwrap();
         assert!(options.quick);
         assert!(!options.full);
         assert_eq!(options.events, Some(50));
+        assert_eq!(options.shards, 4);
         assert_eq!(options.out, "x.json");
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.out, "DEFAULT.json");
         assert_eq!(defaults.events, None);
+        assert_eq!(defaults.shards, 1);
     }
 
     #[test]
@@ -539,8 +653,12 @@ mod tests {
         assert!(parse(&["--events"]).unwrap_err().contains("count"));
         assert!(parse(&["--events", "many"]).unwrap_err().contains("many"));
         assert!(parse(&["--events", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--shards"]).unwrap_err().contains("count"));
+        assert!(parse(&["--shards", "no"]).unwrap_err().contains("no"));
+        assert!(parse(&["--shards", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--out"]).unwrap_err().contains("path"));
         assert!(USAGE.contains("--events"));
+        assert!(USAGE.contains("--shards"));
     }
 
     #[test]
@@ -562,6 +680,7 @@ mod tests {
             full: false,
             out: String::new(),
             events: None,
+            shards: 4,
         };
         let quick = SweepOptions {
             quick: true,
@@ -572,6 +691,8 @@ mod tests {
             ..paper.clone()
         };
         let a = fig3a_grid(&paper);
+        assert!(a.iter().all(|s| s.shards == 4));
+        assert!(fig3b_grid(&paper).iter().all(|s| s.shards == 4));
         assert_eq!(
             a.iter().map(|s| s.num_queries).collect::<Vec<_>>(),
             vec![100, 250, 500, 1_000]

@@ -29,6 +29,28 @@ pub struct EventOutcome {
     pub results_changed: usize,
 }
 
+impl EventOutcome {
+    /// Folds another shard's view of the **same stream event** into this one.
+    ///
+    /// Queries are partitioned across shards, so per-query work counters are
+    /// disjoint and sum exactly; the arrival and the expiration set are
+    /// global facts every shard observes identically, so those fields must
+    /// already agree (checked in debug builds) and are left untouched. The
+    /// merged outcome is therefore field-for-field what a single-shard engine
+    /// would have reported.
+    pub fn merge_shard(&mut self, other: &EventOutcome) {
+        debug_assert_eq!(self.arrived, other.arrived, "shards saw different arrivals");
+        debug_assert_eq!(
+            self.expired, other.expired,
+            "shards disagreed on the expiration set for {}",
+            self.arrived
+        );
+        self.queries_touched_by_arrival += other.queries_touched_by_arrival;
+        self.queries_touched_by_expiration += other.queries_touched_by_expiration;
+        self.results_changed += other.results_changed;
+    }
+}
+
 /// A continuous top-k monitoring engine.
 pub trait Engine {
     /// Registers a continuous query, returning its id. The query's initial
@@ -71,5 +93,29 @@ mod tests {
         assert_eq!(o.queries_touched_by_expiration, 0);
         assert_eq!(o.results_changed, 0);
         assert_eq!(o.arrived, DocId(0));
+    }
+
+    #[test]
+    fn merge_shard_sums_partitioned_counters_only() {
+        let mut merged = EventOutcome {
+            arrived: DocId(7),
+            expired: 2,
+            queries_touched_by_arrival: 3,
+            queries_touched_by_expiration: 1,
+            results_changed: 1,
+        };
+        let other = EventOutcome {
+            arrived: DocId(7),
+            expired: 2,
+            queries_touched_by_arrival: 5,
+            queries_touched_by_expiration: 4,
+            results_changed: 2,
+        };
+        merged.merge_shard(&other);
+        assert_eq!(merged.arrived, DocId(7));
+        assert_eq!(merged.expired, 2); // global fact, not summed
+        assert_eq!(merged.queries_touched_by_arrival, 8);
+        assert_eq!(merged.queries_touched_by_expiration, 5);
+        assert_eq!(merged.results_changed, 3);
     }
 }

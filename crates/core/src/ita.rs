@@ -42,6 +42,8 @@
 //! `ita_brute_force_agreement_beyond_segment_capacity` test pins the
 //! boundary behaviour at engine level.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use cts_index::{
@@ -93,6 +95,45 @@ pub struct ItaQueryStats {
     pub postings_examined: u64,
 }
 
+/// Reference counts over the terms the engine's registered queries use, kept
+/// dense by term id (interned small integers). Present only on term-filtered
+/// engines — the shards of `ShardedItaEngine` — where it decides which
+/// composition entries are filed into the (shadow) inverted index.
+#[derive(Debug, Clone, Default)]
+struct TermRefCounts {
+    counts: Vec<u32>,
+}
+
+impl TermRefCounts {
+    /// Whether any registered query references `term`.
+    #[inline]
+    fn contains(&self, term: TermId) -> bool {
+        self.counts
+            .get(term.0 as usize)
+            .is_some_and(|count| *count > 0)
+    }
+
+    /// Takes one reference on `term`; `true` when this is the first (the
+    /// term just became live and its list must be backfilled).
+    fn acquire(&mut self, term: TermId) -> bool {
+        let slot = term.0 as usize;
+        if slot >= self.counts.len() {
+            self.counts.resize(slot + 1, 0);
+        }
+        self.counts[slot] += 1;
+        self.counts[slot] == 1
+    }
+
+    /// Drops one reference on `term`; `true` when it was the last (the term
+    /// just died and its list can be retired).
+    fn release(&mut self, term: TermId) -> bool {
+        let count = &mut self.counts[term.0 as usize];
+        debug_assert!(*count > 0, "release of unreferenced term {term}");
+        *count -= 1;
+        *count == 0
+    }
+}
+
 /// Per-query mutable state.
 #[derive(Debug, Clone)]
 struct QueryState {
@@ -129,6 +170,9 @@ pub struct ItaEngine {
     /// Reused per-event buffer for the affected-query probe; kept on the
     /// engine so steady-state event processing allocates nothing.
     scratch: Vec<QueryId>,
+    /// `Some` on term-filtered engines (shards): the index files postings
+    /// only for terms referenced by at least one registered query.
+    term_filter: Option<TermRefCounts>,
     next_query: u32,
     clock: Timestamp,
 }
@@ -143,9 +187,31 @@ impl ItaEngine {
             trees: TermArena::new(),
             queries: QuerySlab::new(),
             scratch: Vec::new(),
+            term_filter: None,
             next_query: 0,
             clock: Timestamp::ZERO,
         }
+    }
+
+    /// Creates a **term-filtered** engine: the inverted index files postings
+    /// only for terms referenced by at least one registered query
+    /// (registration backfills a new term's list from the stored window;
+    /// deregistration retires lists whose last referencing query left). For
+    /// its registered queries it is exactly equivalent to an unfiltered
+    /// engine — every list a query's threshold search, roll-up or probe can
+    /// touch is complete — while skipping index maintenance for the (large)
+    /// majority of composition terms no query watches. This is the shard
+    /// configuration of [`crate::ShardedItaEngine`].
+    pub fn term_filtered(window: SlidingWindow, config: ItaConfig) -> Self {
+        Self {
+            term_filter: Some(TermRefCounts::default()),
+            ..Self::new(window, config)
+        }
+    }
+
+    /// Whether this engine maintains a term-filtered (shadow) index.
+    pub fn is_term_filtered(&self) -> bool {
+        self.term_filter.is_some()
     }
 
     /// The engine's configuration.
@@ -431,15 +497,34 @@ fn threshold_descent(index: &InvertedIndex, state: &mut QueryState) {
     }
 }
 
-impl Engine for ItaEngine {
-    fn register(&mut self, query: ContinuousQuery) -> QueryId {
-        let qid = QueryId(self.next_query);
-        self.next_query += 1;
+impl ItaEngine {
+    /// Registers `query` under a caller-chosen id — the sharded engine
+    /// assigns ids globally and routes each query to one shard, so the shard
+    /// must not mint its own. Ids handed out by a later [`Engine::register`]
+    /// never collide with ids registered this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is already registered.
+    pub fn register_with_id(&mut self, qid: QueryId, query: ContinuousQuery) {
+        self.next_query = self.next_query.max(qid.0.saturating_add(1));
+        if let Some(filter) = &mut self.term_filter {
+            // All of the query's newly-live terms are backfilled in one pass
+            // over the stored window, not one window scan per term.
+            let newly_live: Vec<TermId> = query
+                .terms()
+                .filter(|(term, _)| filter.acquire(*term))
+                .map(|(term, _)| term)
+                .collect();
+            if !newly_live.is_empty() {
+                self.index.backfill_terms(&newly_live);
+            }
+        }
         let thresholds = query
             .terms()
             .map(|(t, _)| (t, Weight::new(f64::INFINITY)))
             .collect();
-        self.queries.insert(
+        let previous = self.queries.insert(
             qid,
             QueryState {
                 query,
@@ -452,36 +537,29 @@ impl Engine for ItaEngine {
                 postings_examined: 0,
             },
         );
+        assert!(previous.is_none(), "query id {qid} is already registered");
         self.run_threshold_search(qid, true);
-        qid
     }
 
-    fn deregister(&mut self, query: QueryId) -> bool {
-        let Some(state) = self.queries.remove(query) else {
-            return false;
-        };
-        for (term, theta) in &state.thresholds {
-            if let Some(tree) = self.trees.get_mut(*term) {
-                tree.remove(query, *theta);
-                if tree.is_empty() {
-                    self.trees.remove(*term);
-                }
-            }
-        }
-        true
-    }
-
-    fn process_document(&mut self, doc: Document) -> EventOutcome {
+    /// Processes one already-shared stream event — the fan-out path of the
+    /// sharded engine, where every shard receives the same `Arc`'d document
+    /// and the window's composition lists exist once in memory no matter how
+    /// many shards mirror them. [`Engine::process_document`] wraps and
+    /// delegates here.
+    pub fn process_shared(&mut self, doc: Arc<Document>) -> EventOutcome {
         self.clock = doc.arrival;
         let mut outcome = EventOutcome {
             arrived: doc.id,
             ..EventOutcome::default()
         };
 
-        let composition = doc.composition.clone();
-        self.index.insert_document(doc);
-        let arrival_doc = Document::new(outcome.arrived, self.clock, composition);
-        let (touched, changed) = self.handle_arrival(&arrival_doc);
+        match &self.term_filter {
+            Some(filter) => self
+                .index
+                .insert_shared_filtered(Arc::clone(&doc), |term| filter.contains(term)),
+            None => self.index.insert_shared(Arc::clone(&doc)),
+        }
+        let (touched, changed) = self.handle_arrival(&doc);
         outcome.queries_touched_by_arrival = touched;
         outcome.results_changed += changed;
 
@@ -497,6 +575,38 @@ impl Engine for ItaEngine {
             outcome.results_changed += changed;
         }
         outcome
+    }
+}
+
+impl Engine for ItaEngine {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        let qid = QueryId(self.next_query);
+        self.register_with_id(qid, query);
+        qid
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        let Some(state) = self.queries.remove(query) else {
+            return false;
+        };
+        for (term, theta) in &state.thresholds {
+            if let Some(tree) = self.trees.get_mut(*term) {
+                tree.remove(query, *theta);
+                if tree.is_empty() {
+                    self.trees.remove(*term);
+                }
+            }
+            if let Some(filter) = &mut self.term_filter {
+                if filter.release(*term) {
+                    self.index.drop_list(*term);
+                }
+            }
+        }
+        true
+    }
+
+    fn process_document(&mut self, doc: Document) -> EventOutcome {
+        self.process_shared(Arc::new(doc))
     }
 
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
@@ -768,6 +878,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn term_filtered_engine_matches_unfiltered_through_churn() {
+        let mut full = engine(12);
+        let mut filtered =
+            ItaEngine::term_filtered(SlidingWindow::count_based(12), ItaConfig::default());
+        assert!(filtered.is_term_filtered() && !full.is_term_filtered());
+        let q1 = ContinuousQuery::from_weights([(TermId(0), 0.7), (TermId(1), 0.3)], 3);
+        let q2 = ContinuousQuery::from_weights([(TermId(2), 1.0)], 2);
+        let feed = |full: &mut ItaEngine, filtered: &mut ItaEngine, lo: u64, hi: u64| {
+            for i in lo..hi {
+                let d = doc(
+                    i,
+                    &[
+                        ((i % 5) as u32, 0.1 + (i % 7) as f64 * 0.07),
+                        (5 + (i % 3) as u32, 0.2 + (i % 4) as f64 * 0.05),
+                    ],
+                );
+                let a = full.process_document(d.clone());
+                let b = filtered.process_document(d);
+                assert_eq!(a, b, "outcomes diverged at event {i}");
+            }
+        };
+        // Pre-registration traffic: the filtered index files nothing.
+        feed(&mut full, &mut filtered, 0, 30);
+        assert_eq!(filtered.index_stats().postings, 0);
+        assert!(full.index_stats().postings > 0);
+        // Late registration must backfill the window it never indexed.
+        let a1 = full.register(q1.clone());
+        let b1 = filtered.register(q1);
+        assert_eq!(a1, b1);
+        assert_eq!(full.query_stats(a1), filtered.query_stats(b1));
+        feed(&mut full, &mut filtered, 30, 60);
+        assert_eq!(full.current_results(a1), filtered.current_results(b1));
+        // A second query brings a new term live mid-stream...
+        let a2 = full.register(q2.clone());
+        let b2 = filtered.register(q2);
+        feed(&mut full, &mut filtered, 60, 90);
+        assert_eq!(full.current_results(a2), filtered.current_results(b2));
+        // ...and deregistering the first retires its last-reference lists.
+        assert!(full.deregister(a1) && filtered.deregister(b1));
+        feed(&mut full, &mut filtered, 90, 120);
+        assert_eq!(full.current_results(a2), filtered.current_results(b2));
+        assert_eq!(full.query_stats(a2), filtered.query_stats(b2));
+        // The shadow maintains strictly fewer postings than the full index.
+        assert!(filtered.index_stats().postings < full.index_stats().postings);
+        assert_eq!(
+            filtered.index_stats().documents,
+            full.index_stats().documents
+        );
+    }
+
+    #[test]
+    fn register_with_id_controls_the_id_space() {
+        let mut e = engine(4);
+        e.register_with_id(
+            QueryId(7),
+            ContinuousQuery::from_weights([(TermId(1), 1.0)], 1),
+        );
+        // Fresh ids never collide with externally assigned ones.
+        let next = e.register(ContinuousQuery::from_weights([(TermId(2), 1.0)], 1));
+        assert_eq!(next, QueryId(8));
+        assert_eq!(e.num_queries(), 2);
+        assert!(e.deregister(QueryId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_register_with_id_panics() {
+        let mut e = engine(4);
+        e.register_with_id(
+            QueryId(3),
+            ContinuousQuery::from_weights([(TermId(1), 1.0)], 1),
+        );
+        e.register_with_id(
+            QueryId(3),
+            ContinuousQuery::from_weights([(TermId(2), 1.0)], 1),
+        );
     }
 
     #[test]

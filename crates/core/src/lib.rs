@@ -56,6 +56,7 @@ pub mod oracle;
 pub mod query;
 pub mod result;
 pub mod server;
+pub mod sharded;
 pub mod slab;
 pub mod validate;
 
@@ -67,4 +68,5 @@ pub use oracle::BruteForceOracle;
 pub use query::ContinuousQuery;
 pub use result::ResultSet;
 pub use server::MonitoringServer;
+pub use sharded::ShardedItaEngine;
 pub use slab::QuerySlab;

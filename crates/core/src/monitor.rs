@@ -79,8 +79,33 @@ impl ProcessingStats {
         self.queries_touched_by_arrival + self.queries_touched_by_expiration
     }
 
+    /// Folds another accumulator into this one — the combinator behind every
+    /// multi-source aggregation (the sharded engine's per-worker stats, batch
+    /// deltas in [`Monitor::run`]).
+    ///
+    /// The merge is exact: counters and `total_time` (integer nanoseconds)
+    /// add, `max_event_time` takes the maximum, and derived quantities like
+    /// [`ProcessingStats::mean_event_time`] are recomputed from the merged
+    /// totals — never averaged across sources, so there is no mean-of-means
+    /// drift when the sources saw different event counts.
+    pub fn absorb(&mut self, other: &ProcessingStats) {
+        self.events += other.events;
+        self.expirations += other.expirations;
+        self.queries_touched_by_arrival += other.queries_touched_by_arrival;
+        self.queries_touched_by_expiration += other.queries_touched_by_expiration;
+        self.results_changed += other.results_changed;
+        self.total_time += other.total_time;
+        self.max_event_time = self.max_event_time.max(other.max_event_time);
+    }
+
     /// The change in counters since `earlier` (saturating; `earlier` should
     /// be a previous snapshot of the same monitor).
+    ///
+    /// Note the wart this pattern carries: `max_event_time` is the
+    /// *cumulative* maximum, not the interval's. Batch aggregation should
+    /// prefer recording into a fresh accumulator and
+    /// [`ProcessingStats::absorb`]ing it (what [`Monitor::run`] does), which
+    /// keeps every field exact.
     pub fn delta_since(&self, earlier: &ProcessingStats) -> ProcessingStats {
         ProcessingStats {
             events: self.events.saturating_sub(earlier.events),
@@ -133,6 +158,24 @@ impl<E: Engine> Monitor<E> {
     /// The statistics accumulated so far.
     pub fn stats(&self) -> &ProcessingStats {
         &self.stats
+    }
+
+    /// Processes a whole batch of documents, returning the statistics for
+    /// exactly this batch. The batch is recorded into a fresh accumulator and
+    /// [`ProcessingStats::absorb`]ed into the cumulative stats, so cumulative
+    /// and per-batch views are built from the same exact integer totals.
+    pub fn run<I>(&mut self, docs: I) -> ProcessingStats
+    where
+        I: IntoIterator<Item = Document>,
+    {
+        let mut batch = ProcessingStats::default();
+        for doc in docs {
+            let start = Instant::now();
+            let outcome = self.engine.process_document(doc);
+            batch.record(&outcome, start.elapsed());
+        }
+        self.stats.absorb(&batch);
+        batch
     }
 
     /// Resets the accumulated statistics to zero.
@@ -258,6 +301,82 @@ mod tests {
             ..ProcessingStats::default()
         };
         assert_eq!(tiny.mean_event_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_is_an_exact_integer_merge() {
+        let mut a = ProcessingStats {
+            events: 3,
+            expirations: 2,
+            queries_touched_by_arrival: 7,
+            queries_touched_by_expiration: 1,
+            results_changed: 4,
+            total_time: Duration::from_nanos(10),
+            max_event_time: Duration::from_nanos(6),
+        };
+        let b = ProcessingStats {
+            events: 5,
+            expirations: 1,
+            queries_touched_by_arrival: 2,
+            queries_touched_by_expiration: 9,
+            results_changed: 1,
+            total_time: Duration::from_nanos(11),
+            max_event_time: Duration::from_nanos(4),
+        };
+        a.absorb(&b);
+        assert_eq!(a.events, 8);
+        assert_eq!(a.expirations, 3);
+        assert_eq!(a.queries_touched_by_arrival, 9);
+        assert_eq!(a.queries_touched_by_expiration, 10);
+        assert_eq!(a.results_changed, 5);
+        assert_eq!(a.total_time, Duration::from_nanos(21));
+        assert_eq!(a.max_event_time, Duration::from_nanos(6));
+        // The merged mean is 21 ns / 8 events = 2 ns, computed from the exact
+        // totals. A mean-of-means would have reported
+        // (10/3 + 11/5) / 2 ≈ 2.77 ns — the drift absorb exists to avoid.
+        assert_eq!(a.mean_event_time(), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn absorb_matches_recording_the_same_events_in_one_accumulator() {
+        let outcome = |touched: usize| EventOutcome {
+            queries_touched_by_arrival: touched,
+            expired: 1,
+            ..EventOutcome::default()
+        };
+        let mut merged = ProcessingStats::default();
+        let mut left = ProcessingStats::default();
+        let mut right = ProcessingStats::default();
+        for i in 0..6u64 {
+            let (elapsed, o) = (Duration::from_nanos(100 + i), outcome(i as usize));
+            merged.record(&o, elapsed);
+            if i % 2 == 0 {
+                left.record(&o, elapsed);
+            } else {
+                right.record(&o, elapsed);
+            }
+        }
+        let mut absorbed = ProcessingStats::default();
+        absorbed.absorb(&left);
+        absorbed.absorb(&right);
+        assert_eq!(absorbed, merged);
+        // Absorbing empty stats is the identity.
+        absorbed.absorb(&ProcessingStats::default());
+        assert_eq!(absorbed, merged);
+    }
+
+    #[test]
+    fn run_returns_batch_stats_and_absorbs_them_into_the_cumulative_view() {
+        let mut m = monitored();
+        m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        let first = m.run((0..3u64).map(|i| doc(i, 0.5)));
+        assert_eq!(first.events, 3);
+        assert_eq!(m.stats().events, 3);
+        let second = m.run((3..8u64).map(|i| doc(i, 0.5)));
+        assert_eq!(second.events, 5);
+        assert_eq!(second.expirations, 5);
+        assert_eq!(m.stats().events, 8);
+        assert_eq!(m.stats().total_time, first.total_time + second.total_time);
     }
 
     #[test]

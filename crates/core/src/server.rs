@@ -15,6 +15,7 @@ use crate::monitor::{Monitor, ProcessingStats};
 use crate::naive::{NaiveConfig, NaiveEngine};
 use crate::query::ContinuousQuery;
 use crate::result::RankedDocument;
+use crate::sharded::ShardedItaEngine;
 
 /// A monitoring server over any [`Engine`].
 #[derive(Debug, Clone)]
@@ -33,6 +34,15 @@ impl MonitoringServer<NaiveEngine> {
     /// A server running the top-`k_max` materialised-view baseline.
     pub fn naive(window: SlidingWindow, config: NaiveConfig) -> Self {
         Self::new(NaiveEngine::new(window, config))
+    }
+}
+
+impl MonitoringServer<ShardedItaEngine> {
+    /// A server running ITA across `shards` query-partitioned worker
+    /// threads — results are byte-identical to [`MonitoringServer::ita`];
+    /// event processing fans out to persistent per-shard workers.
+    pub fn sharded_ita(window: SlidingWindow, config: ItaConfig, shards: usize) -> Self {
+        Self::new(ShardedItaEngine::new(window, config, shards))
     }
 }
 
@@ -61,16 +71,14 @@ impl<E: Engine> MonitoringServer<E> {
     }
 
     /// Feeds a whole batch of documents, returning the processing statistics
-    /// for exactly this batch.
+    /// for exactly this batch (recorded separately and
+    /// [`ProcessingStats::absorb`]ed into the cumulative stats — see
+    /// [`Monitor::run`]).
     pub fn run<I>(&mut self, docs: I) -> ProcessingStats
     where
         I: IntoIterator<Item = Document>,
     {
-        let before = *self.monitor.stats();
-        for doc in docs {
-            self.monitor.process_document(doc);
-        }
-        self.monitor.stats().delta_since(&before)
+        self.monitor.run(docs)
     }
 
     /// The current top-k of `query`, best first.
@@ -160,6 +168,27 @@ mod tests {
             assert_eq!(ita.results(qa), naive.results(qb), "diverged at event {i}");
         }
         assert_eq!(naive.engine_name(), "naive");
+    }
+
+    #[test]
+    fn sharded_server_matches_ita_server() {
+        let window = SlidingWindow::count_based(5);
+        let mut ita = MonitoringServer::ita(window, ItaConfig::default());
+        let mut sharded = MonitoringServer::sharded_ita(window, ItaConfig::default(), 3);
+        let query = ContinuousQuery::from_weights([(TermId(1), 1.0)], 2);
+        let qa = ita.register_query(query.clone());
+        let qb = sharded.register_query(query);
+        assert_eq!(qa, qb);
+        for i in 0..20u64 {
+            let d = doc(i, 0.05 + (i % 6) as f64 * 0.1);
+            let oa = ita.feed(d.clone());
+            let ob = sharded.feed(d);
+            assert_eq!(oa, ob, "outcomes diverged at event {i}");
+            assert_eq!(ita.results(qa), sharded.results(qb));
+        }
+        assert_eq!(sharded.engine_name(), "sharded-ita");
+        assert_eq!(sharded.engine().num_shards(), 3);
+        assert_eq!(sharded.stats().events, 20);
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! Query-sharded parallel execution of the Incremental Threshold Algorithm.
+//!
+//! [`ShardedItaEngine`] partitions the registered queries across `N` worker
+//! shards by a deterministic hash of the query id. Each shard owns, for its
+//! query subset, **everything** the single-shard [`ItaEngine`] owns for the
+//! full set: the per-query result sets and local thresholds, the per-term
+//! threshold trees, and a *term-filtered shadow* inverted index — segmented
+//! impact lists for only the terms its queries reference, mirrored over the
+//! shared window (the document store holds `Arc`s, so the window's
+//! composition lists exist once in memory no matter how many shards mirror
+//! them).
+//!
+//! A stream event is fanned out **once**: the coordinator wraps the document
+//! in an `Arc`, pushes it down each shard's SPSC request channel, and every
+//! worker probes its own trees, repairs its own result sets and slides its
+//! own window mirror with **zero cross-shard locking on the hot path** — the
+//! only synchronisation is the channel handoff at the event boundary. The
+//! per-shard [`crate::EventOutcome`]s are folded back with
+//! [`crate::EventOutcome::merge_shard`] into exactly what a single-shard
+//! engine would have reported, and per-worker [`ProcessingStats`] merge
+//! through [`ProcessingStats::absorb`], so monitors and the sweep harness
+//! see exact aggregate numbers.
+//!
+//! Workers are **persistent**: they are spawned once inside a
+//! [`std::thread::scope`] held by a supervisor thread and live until the
+//! engine is dropped, so steady-state event processing pays a channel
+//! send/recv, never a thread spawn. The scope guarantees every worker is
+//! joined (even when one panics) before the supervisor exits; the
+//! coordinator surfaces a worker panic as its own panic the moment a channel
+//! closes under it.
+//!
+//! ## Why this is exact
+//!
+//! Every structure the ITA maintenance paths read is *per query term*:
+//! registration and refill descend the query's own inverted lists, roll-up
+//! probes them, and arrivals/expirations consult the threshold trees of the
+//! arriving document's terms. A shard that keeps complete lists for the
+//! union of its queries' terms therefore reproduces, query for query, the
+//! exact reads the single-shard engine performs — the shadow index is
+//! complete for that term set by construction (filtered inserts for live
+//! terms, [`cts_index::InvertedIndex::backfill_term`] when a registration
+//! brings a term live mid-stream). The randomized differential test in
+//! `tests/sharded_equivalence.rs` enforces byte-identical results and event
+//! outcomes against [`ItaEngine`] across shard counts, deregistration and
+//! window expiry.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cts_index::{Document, IndexStats, QueryId, SlidingWindow, Timestamp};
+
+use crate::engine::{Engine, EventOutcome};
+use crate::ita::{ItaConfig, ItaEngine, ItaQueryStats};
+use crate::monitor::ProcessingStats;
+use crate::query::ContinuousQuery;
+use crate::result::RankedDocument;
+
+/// A request travelling coordinator → shard on the shard's SPSC channel.
+enum ShardRequest {
+    /// Register `query` under the globally assigned id (synchronous).
+    Register(QueryId, ContinuousQuery),
+    /// Remove a query (synchronous; replies whether it existed).
+    Deregister(QueryId),
+    /// Process one fanned-out stream event (synchronous; replies with the
+    /// shard's [`EventOutcome`]).
+    Process(Arc<Document>),
+    /// Read a query's current top-k.
+    Results(QueryId),
+    /// Read a query's ITA bookkeeping snapshot.
+    QueryStats(QueryId),
+    /// Read the shard's shadow-index statistics.
+    IndexStats,
+    /// Read the shard's accumulated per-worker processing statistics.
+    Stats,
+    /// Zero the shard's processing statistics (e.g. after an untimed
+    /// fill/register phase, so later readings cover only measured events).
+    ResetStats,
+    /// Read the shard's valid-document count (identical across shards).
+    NumValidDocuments,
+}
+
+/// A reply travelling shard → coordinator, always in request order (each
+/// channel pair carries at most one outstanding request per shard).
+enum ShardReply {
+    Registered,
+    Deregistered(bool),
+    Processed(EventOutcome),
+    Results(Vec<RankedDocument>),
+    QueryStats(Option<ItaQueryStats>),
+    IndexStats(IndexStats),
+    Stats(ProcessingStats),
+    StatsReset,
+    NumValidDocuments(usize),
+}
+
+/// The persistent worker loop: one term-filtered [`ItaEngine`] driven by the
+/// shard's request channel until the coordinator hangs up. Event processing
+/// is timed per shard into a local [`ProcessingStats`], which the
+/// coordinator merges with [`ProcessingStats::absorb`] on demand.
+fn worker_loop(
+    mut shard: ItaEngine,
+    requests: Receiver<ShardRequest>,
+    replies: Sender<ShardReply>,
+) {
+    let mut stats = ProcessingStats::default();
+    while let Ok(request) = requests.recv() {
+        let reply = match request {
+            ShardRequest::Register(qid, query) => {
+                shard.register_with_id(qid, query);
+                ShardReply::Registered
+            }
+            ShardRequest::Deregister(qid) => ShardReply::Deregistered(shard.deregister(qid)),
+            ShardRequest::Process(doc) => {
+                let start = Instant::now();
+                let outcome = shard.process_shared(doc);
+                stats.record(&outcome, start.elapsed());
+                ShardReply::Processed(outcome)
+            }
+            ShardRequest::Results(qid) => ShardReply::Results(shard.current_results(qid)),
+            ShardRequest::QueryStats(qid) => ShardReply::QueryStats(shard.query_stats(qid)),
+            ShardRequest::IndexStats => ShardReply::IndexStats(shard.index_stats()),
+            ShardRequest::Stats => ShardReply::Stats(stats),
+            ShardRequest::ResetStats => {
+                stats = ProcessingStats::default();
+                ShardReply::StatsReset
+            }
+            ShardRequest::NumValidDocuments => {
+                ShardReply::NumValidDocuments(shard.num_valid_documents())
+            }
+        };
+        if replies.send(reply).is_err() {
+            // The coordinator is gone; nothing left to serve.
+            break;
+        }
+    }
+}
+
+/// The paper's ITA, executed across `N` query-partitioned worker shards.
+///
+/// Implements [`Engine`] with results and event outcomes byte-identical to
+/// the single-shard [`ItaEngine`] over any stream. See the module docs for
+/// the partitioning rule, the fan-out protocol and the exactness argument.
+#[derive(Debug)]
+pub struct ShardedItaEngine {
+    /// Coordinator → shard request channels (SPSC: this engine is the only
+    /// producer, the shard's worker the only consumer).
+    requests: Vec<Sender<ShardRequest>>,
+    /// Shard → coordinator reply channels, index-aligned with `requests`.
+    replies: Vec<Receiver<ShardReply>>,
+    /// The supervisor thread whose [`std::thread::scope`] owns the workers.
+    supervisor: Option<JoinHandle<()>>,
+    window: SlidingWindow,
+    config: ItaConfig,
+    num_queries: usize,
+    next_query: u32,
+    clock: Timestamp,
+}
+
+impl ShardedItaEngine {
+    /// Creates an engine with `shards` persistent worker shards, each
+    /// running a term-filtered [`ItaEngine`] under the given window policy
+    /// and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(window: SlidingWindow, config: ItaConfig, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        let mut requests = Vec::with_capacity(shards);
+        let mut replies = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (request_tx, request_rx) = std::sync::mpsc::channel();
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            requests.push(request_tx);
+            replies.push(reply_rx);
+            workers.push((
+                ItaEngine::term_filtered(window, config),
+                request_rx,
+                reply_tx,
+            ));
+        }
+        // The supervisor's scope keeps the workers joined-on-exit even if one
+        // panics; the workers themselves exit when the coordinator drops its
+        // request senders.
+        let supervisor = std::thread::Builder::new()
+            .name("cts-shard-supervisor".to_string())
+            .spawn(move || {
+                std::thread::scope(|scope| {
+                    for (i, (shard, request_rx, reply_tx)) in workers.into_iter().enumerate() {
+                        std::thread::Builder::new()
+                            .name(format!("cts-shard-{i}"))
+                            .spawn_scoped(scope, move || worker_loop(shard, request_rx, reply_tx))
+                            .expect("spawn shard worker");
+                    }
+                });
+            })
+            .expect("spawn shard supervisor");
+        Self {
+            requests,
+            replies,
+            supervisor: Some(supervisor),
+            window,
+            config,
+            num_queries: 0,
+            next_query: 0,
+            clock: Timestamp::ZERO,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The sliding-window policy in force.
+    pub fn window(&self) -> SlidingWindow {
+        self.window
+    }
+
+    /// The per-shard ITA configuration.
+    pub fn config(&self) -> ItaConfig {
+        self.config
+    }
+
+    /// The partitioning rule: which shard owns `query`. Fibonacci-hashing
+    /// the id spreads both sequential registration order and arbitrary
+    /// (churned) id sets evenly across shards, and stays stable for a given
+    /// id across deregistrations. The shard is taken from the hash's **high**
+    /// bits via a multiply-shift — `hash % N` would keep only the low bits,
+    /// which for power-of-two `N` degenerate to a permutation of the id's own
+    /// low bits (an all-even surviving id set would then occupy only half
+    /// the shards).
+    pub fn shard_of(&self, query: QueryId) -> usize {
+        let hashed = (u64::from(query.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((u128::from(hashed) * self.requests.len() as u128) >> 64) as usize
+    }
+
+    fn shard_died(&self, shard: usize) -> ! {
+        panic!("shard {shard} worker disconnected — it panicked (see stderr for the root cause)");
+    }
+
+    /// Sends one request to `shard` and blocks for its reply.
+    fn call(&self, shard: usize, request: ShardRequest) -> ShardReply {
+        if self.requests[shard].send(request).is_err() {
+            self.shard_died(shard);
+        }
+        match self.replies[shard].recv() {
+            Ok(reply) => reply,
+            Err(_) => self.shard_died(shard),
+        }
+    }
+
+    /// A query's ITA bookkeeping snapshot, if it is registered (served by
+    /// the owning shard).
+    pub fn query_stats(&self, query: QueryId) -> Option<ItaQueryStats> {
+        match self.call(self.shard_of(query), ShardRequest::QueryStats(query)) {
+            ShardReply::QueryStats(stats) => stats,
+            _ => unreachable!("shard replied out of order"),
+        }
+    }
+
+    /// Per-shard shadow-index statistics, in shard order. Postings sum to
+    /// the sharded system's total index footprint (terms referenced by
+    /// queries in two shards are mirrored in both); every shard reports the
+    /// same document count.
+    pub fn shard_index_stats(&self) -> Vec<IndexStats> {
+        self.broadcast_collect(
+            || ShardRequest::IndexStats,
+            |reply| match reply {
+                ShardReply::IndexStats(stats) => stats,
+                _ => unreachable!("shard replied out of order"),
+            },
+        )
+    }
+
+    /// Per-shard processing statistics (each worker times its own event
+    /// handling), in shard order.
+    pub fn shard_stats(&self) -> Vec<ProcessingStats> {
+        self.broadcast_collect(
+            || ShardRequest::Stats,
+            |reply| match reply {
+                ShardReply::Stats(stats) => stats,
+                _ => unreachable!("shard replied out of order"),
+            },
+        )
+    }
+
+    /// Zeroes every worker's processing statistics. Call after an untimed
+    /// setup phase (window fill, workload registration) so
+    /// [`ShardedItaEngine::shard_stats`] and
+    /// [`ShardedItaEngine::aggregate_shard_stats`] cover only the events
+    /// processed afterwards.
+    pub fn reset_shard_stats(&mut self) {
+        let acks = self.broadcast_collect(
+            || ShardRequest::ResetStats,
+            |reply| matches!(reply, ShardReply::StatsReset),
+        );
+        assert!(acks.iter().all(|ok| *ok), "shard replied out of order");
+    }
+
+    /// The exact aggregate of every worker's processing statistics, merged
+    /// with [`ProcessingStats::absorb`]. `events` counts each stream event
+    /// once per shard (every shard handles every event); `total_time` is the
+    /// summed busy time across workers — divide by the wall-clock event time
+    /// of an enclosing [`crate::Monitor`] to read parallel utilisation.
+    pub fn aggregate_shard_stats(&self) -> ProcessingStats {
+        let mut merged = ProcessingStats::default();
+        for stats in self.shard_stats() {
+            merged.absorb(&stats);
+        }
+        merged
+    }
+
+    /// Fans one request to every shard, then collects the replies in shard
+    /// order (the fan-out/fan-in used for stream events and statistics).
+    fn broadcast_collect<T>(
+        &self,
+        mut request: impl FnMut() -> ShardRequest,
+        mut unwrap: impl FnMut(ShardReply) -> T,
+    ) -> Vec<T> {
+        for (shard, sender) in self.requests.iter().enumerate() {
+            if sender.send(request()).is_err() {
+                self.shard_died(shard);
+            }
+        }
+        self.replies
+            .iter()
+            .enumerate()
+            .map(|(shard, receiver)| match receiver.recv() {
+                Ok(reply) => unwrap(reply),
+                Err(_) => self.shard_died(shard),
+            })
+            .collect()
+    }
+}
+
+impl Engine for ShardedItaEngine {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        match self.call(self.shard_of(qid), ShardRequest::Register(qid, query)) {
+            ShardReply::Registered => {}
+            _ => unreachable!("shard replied out of order"),
+        }
+        self.num_queries += 1;
+        qid
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        let removed = match self.call(self.shard_of(query), ShardRequest::Deregister(query)) {
+            ShardReply::Deregistered(removed) => removed,
+            _ => unreachable!("shard replied out of order"),
+        };
+        if removed {
+            self.num_queries -= 1;
+        }
+        removed
+    }
+
+    fn process_document(&mut self, doc: Document) -> EventOutcome {
+        self.clock = doc.arrival;
+        let doc = Arc::new(doc);
+        let outcomes = self.broadcast_collect(
+            || ShardRequest::Process(Arc::clone(&doc)),
+            |reply| match reply {
+                ShardReply::Processed(outcome) => outcome,
+                _ => unreachable!("shard replied out of order"),
+            },
+        );
+        let mut merged = outcomes[0];
+        for outcome in &outcomes[1..] {
+            merged.merge_shard(outcome);
+        }
+        merged
+    }
+
+    fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
+        match self.call(self.shard_of(query), ShardRequest::Results(query)) {
+            ShardReply::Results(results) => results,
+            _ => unreachable!("shard replied out of order"),
+        }
+    }
+
+    fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    fn num_valid_documents(&self) -> usize {
+        match self.call(0, ShardRequest::NumValidDocuments) {
+            ShardReply::NumValidDocuments(count) => count,
+            _ => unreachable!("shard replied out of order"),
+        }
+    }
+
+    fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded-ita"
+    }
+}
+
+impl Drop for ShardedItaEngine {
+    fn drop(&mut self) {
+        // Closing the request channels is the shutdown signal; the
+        // supervisor's scope then joins every worker.
+        self.requests.clear();
+        if let Some(supervisor) = self.supervisor.take() {
+            if supervisor.join().is_err() && !std::thread::panicking() {
+                panic!("a shard worker panicked; see stderr for the root cause");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::assert_lockstep_event;
+    use cts_index::DocId;
+    use cts_text::{TermId, WeightedVector};
+
+    fn doc(id: u64, terms: &[(u32, f64)]) -> Document {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights(terms.iter().map(|&(t, w)| (TermId(t), w))),
+        )
+    }
+
+    fn query(terms: &[(u32, f64)], k: usize) -> ContinuousQuery {
+        ContinuousQuery::from_weights(terms.iter().map(|&(t, w)| (TermId(t), w)), k)
+    }
+
+    #[test]
+    fn single_shard_locksteps_with_the_plain_engine() {
+        let window = SlidingWindow::count_based(8);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), 1);
+        let qa = reference.register(query(&[(1, 0.6), (2, 0.8)], 2));
+        let qb = sharded.register(query(&[(1, 0.6), (2, 0.8)], 2));
+        assert_eq!(qa, qb);
+        for i in 0..40u64 {
+            let d = doc(i, &[((i % 4) as u32, 0.1 + (i % 6) as f64 * 0.1)]);
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &[qa]);
+        }
+        assert_eq!(sharded.name(), "sharded-ita");
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.clock(), reference.clock());
+        assert_eq!(sharded.num_valid_documents(), 8);
+    }
+
+    #[test]
+    fn queries_are_spread_across_shards_and_results_survive_routing() {
+        let window = SlidingWindow::count_based(16);
+        let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), 4);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let mut qids = Vec::new();
+        for t in 0..8u32 {
+            let q = query(&[(t % 5, 0.5), (5 + t % 3, 0.5)], 3);
+            let qs = sharded.register(q.clone());
+            let qr = reference.register(q);
+            assert_eq!(qs, qr);
+            qids.push(qs);
+        }
+        // The hash really does use more than one shard for 8 sequential ids.
+        let used: std::collections::HashSet<usize> =
+            qids.iter().map(|&q| sharded.shard_of(q)).collect();
+        assert!(used.len() > 1, "all queries landed on one shard");
+        for i in 0..60u64 {
+            let d = doc(
+                i,
+                &[
+                    ((i % 7) as u32, 0.1 + (i % 9) as f64 * 0.08),
+                    ((3 + i % 4) as u32, 0.3),
+                ],
+            );
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &qids);
+        }
+        assert_eq!(sharded.num_queries(), 8);
+        assert!(sharded.deregister(qids[3]));
+        assert!(!sharded.deregister(qids[3]));
+        assert_eq!(sharded.num_queries(), 7);
+        assert!(reference.deregister(qids[3]));
+        for i in 60..90u64 {
+            let d = doc(i, &[((i % 7) as u32, 0.2), (8, 0.4)]);
+            let live: Vec<QueryId> = qids.iter().copied().filter(|&q| q != qids[3]).collect();
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &live);
+        }
+        assert!(sharded.current_results(qids[3]).is_empty());
+    }
+
+    #[test]
+    fn shard_statistics_aggregate_exactly() {
+        let mut sharded =
+            ShardedItaEngine::new(SlidingWindow::count_based(6), ItaConfig::default(), 3);
+        for t in 0..6u32 {
+            sharded.register(query(&[(t, 1.0)], 2));
+        }
+        let mut events = 0u64;
+        for i in 0..25u64 {
+            sharded.process_document(doc(i, &[((i % 6) as u32, 0.1 + (i % 5) as f64 * 0.1)]));
+            events += 1;
+        }
+        let per_shard = sharded.shard_stats();
+        assert_eq!(per_shard.len(), 3);
+        // Every shard sees every event.
+        for stats in &per_shard {
+            assert_eq!(stats.events, events);
+        }
+        let merged = sharded.aggregate_shard_stats();
+        assert_eq!(merged.events, events * 3);
+        assert_eq!(
+            merged.total_time,
+            per_shard.iter().map(|s| s.total_time).sum()
+        );
+        // Shadow indexes: same window everywhere, query terms partitioned.
+        let index = sharded.shard_index_stats();
+        assert!(index.iter().all(|s| s.documents == 6));
+        assert!(index.iter().map(|s| s.postings).sum::<usize>() > 0);
+        // The queries' stats are served by the owning shard.
+        let q0 = QueryId(0);
+        assert!(sharded.query_stats(q0).is_some());
+        assert!(sharded.query_stats(QueryId(99)).is_none());
+        // Resetting zeroes every worker's accumulator; later events are
+        // counted from the reset point only.
+        sharded.reset_shard_stats();
+        assert_eq!(sharded.aggregate_shard_stats(), ProcessingStats::default());
+        sharded.process_document(doc(25, &[(0, 0.5)]));
+        let after = sharded.shard_stats();
+        assert!(after.iter().all(|s| s.events == 1));
+    }
+
+    #[test]
+    fn hash_partition_spreads_stride_patterned_id_sets() {
+        // The failure mode of a low-bits partition: a churned workload whose
+        // surviving ids share low bits (all even, or one residue mod 8)
+        // collapses onto a fraction of the shards. The multiply-shift over
+        // the Fibonacci hash keys on the high bits instead, so such sets
+        // still spread.
+        let sharded = ShardedItaEngine::new(SlidingWindow::count_based(4), ItaConfig::default(), 8);
+        for stride in [2u32, 4, 8] {
+            let used: std::collections::HashSet<usize> = (0..64u32)
+                .map(|i| sharded.shard_of(QueryId(i * stride)))
+                .collect();
+            assert!(
+                used.len() >= 6,
+                "stride-{stride} ids reached only {} of 8 shards",
+                used.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardedItaEngine::new(SlidingWindow::count_based(4), ItaConfig::default(), 0);
+    }
+
+    #[test]
+    fn dropping_the_engine_joins_its_workers() {
+        let handle = {
+            let sharded =
+                ShardedItaEngine::new(SlidingWindow::count_based(4), ItaConfig::default(), 2);
+            sharded.num_shards()
+        };
+        // Reaching here without hanging means the workers exited and the
+        // supervisor joined them.
+        assert_eq!(handle, 2);
+    }
+}

@@ -107,6 +107,35 @@ where
     }
 }
 
+/// Feeds the same stream event to both engines and asserts they stay in
+/// lockstep: identical [`crate::EventOutcome`] (same expiration count, same
+/// number of touched queries, same number of changed results) **and**
+/// identical current top-k on every query in `queries`. This is the
+/// per-event probe of the sharded-vs-single-shard differential tests, where
+/// result equality alone would let work-accounting bugs (e.g. a shard
+/// double-counting touched queries) slip through.
+pub fn assert_lockstep_event<R, C>(
+    reference: &mut R,
+    candidate: &mut C,
+    doc: &cts_index::Document,
+    queries: &[QueryId],
+) where
+    R: Engine,
+    C: Engine,
+{
+    let expected = reference.process_document(doc.clone());
+    let actual = candidate.process_document(doc.clone());
+    assert_eq!(
+        expected,
+        actual,
+        "event outcomes diverged on {} ({} vs {})",
+        doc.id,
+        reference.name(),
+        candidate.name()
+    );
+    assert_engines_agree(reference, candidate, queries);
+}
+
 /// Captures the current top-k of every query in `queries`, in order. Use
 /// this when two engines cannot be alive at the same time (e.g. the
 /// paper-scale sweep harness runs them sequentially to halve peak memory):
@@ -238,6 +267,44 @@ mod tests {
             .expect_err("divergence must be reported");
         assert_eq!(err.query, q);
         assert_eq!(err.reference_name, "oracle-a");
+    }
+
+    #[test]
+    fn lockstep_helper_accepts_agreeing_engines() {
+        let window = SlidingWindow::count_based(4);
+        let mut ita = ItaEngine::new(window, ItaConfig::default());
+        let mut naive = NaiveEngine::new(window, NaiveConfig::default());
+        let q = ita.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        naive.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        for i in 0..12u64 {
+            let d = Document::new(
+                DocId(i),
+                Timestamp::from_millis(i),
+                WeightedVector::from_weights([(TermId(1), 0.1 + (i % 3) as f64 * 0.2)]),
+            );
+            // ITA and the naïve baseline touch different numbers of queries
+            // per event, so lockstep them against equally-configured twins.
+            let mut ita_twin = ita.clone();
+            assert_lockstep_event(&mut ita, &mut ita_twin, &d, &[q]);
+            naive.process_document(d);
+            assert_engines_agree(&ita, &naive, &[q]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "event outcomes diverged")]
+    fn lockstep_helper_rejects_diverging_outcomes() {
+        let window = SlidingWindow::count_based(4);
+        let mut a = ItaEngine::new(window, ItaConfig::default());
+        let mut b = ItaEngine::new(window, ItaConfig::default());
+        a.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        // b has no query registered: the arrival touches 0 of its queries.
+        let d = Document::new(
+            DocId(0),
+            Timestamp::ZERO,
+            WeightedVector::from_weights([(TermId(1), 0.5)]),
+        );
+        assert_lockstep_event(&mut a, &mut b, &d, &[]);
     }
 
     #[test]

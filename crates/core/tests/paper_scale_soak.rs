@@ -144,3 +144,99 @@ fn ita_survives_a_paper_scale_soak() {
     assert!(stats.postings > WINDOW_DOCS, "postings track the window");
     assert!(stats.longest_list <= WINDOW_DOCS);
 }
+
+/// Sharded spot-check at paper scale: a 4-shard [`cts_core::ShardedItaEngine`]
+/// and the single-shard reference stream the same fill + workload +
+/// steady-state events, and a sample of queries is compared at checkpoints
+/// (plus the exact per-event [`cts_core::EventOutcome`] on every event).
+/// A reduced event count keeps the pair of paper-scale engines to soak-job
+/// runtime.
+#[test]
+#[ignore = "paper-scale soak: minutes in release mode; run via cargo test --release -- --ignored"]
+fn sharded_ita_stays_exact_at_paper_scale() {
+    use cts_core::ShardedItaEngine;
+
+    const SHARDS: usize = 4;
+    const EVENTS: usize = 1_000;
+
+    let corpus = CorpusConfig {
+        seed: 0x50AC_0001,
+        ..CorpusConfig::default()
+    };
+    let workload = QueryWorkload::new(
+        WorkloadConfig {
+            num_queries: NUM_QUERIES,
+            query_length: 10,
+            k: 10,
+            popularity_biased: false,
+            seed: 0x50AC_0002,
+        },
+        corpus.vocabulary_size,
+    );
+    let dict = Dictionary::new();
+    let queries: Vec<ContinuousQuery> = workload
+        .generate()
+        .iter()
+        .map(|spec| {
+            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
+        })
+        .collect();
+
+    let window = SlidingWindow::count_based(WINDOW_DOCS);
+    let mut reference = ItaEngine::new(window, ItaConfig::default());
+    let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), SHARDS);
+    let mut stream = DocumentStream::new(
+        corpus,
+        StreamConfig {
+            arrival_rate_per_sec: 200.0,
+            seed: 0x50AC_0003,
+        },
+    );
+    for _ in 0..WINDOW_DOCS {
+        let doc = stream.next_document();
+        reference.process_document(doc.clone());
+        sharded.process_document(doc);
+    }
+    let qids: Vec<QueryId> = queries
+        .iter()
+        .map(|q| {
+            let qa = reference.register(q.clone());
+            let qb = sharded.register(q.clone());
+            assert_eq!(qa, qb, "engines assigned different ids");
+            qa
+        })
+        .collect();
+
+    let sample_stride = (NUM_QUERIES / SAMPLE).max(1);
+    for event in 1..=EVENTS {
+        let doc = stream.next_document();
+        let expected = reference.process_document(doc.clone());
+        let actual = sharded.process_document(doc);
+        assert_eq!(expected, actual, "event {event}: outcome diverged");
+
+        if event % CHECK_EVERY != 0 && event != EVENTS {
+            continue;
+        }
+        for qid in qids.iter().step_by(sample_stride) {
+            assert_eq!(
+                reference.current_results(*qid),
+                sharded.current_results(*qid),
+                "event {event}, {qid}: sharded results diverged"
+            );
+        }
+        eprintln!("sharded soak: event {event}/{EVENTS} verified");
+    }
+
+    // Every shard mirrors the full window; the shadow postings across all
+    // shards stay below the full index (most composition terms are watched
+    // by no query at this workload).
+    let full = reference.index_stats();
+    let shadow = sharded.shard_index_stats();
+    assert!(shadow.iter().all(|s| s.documents == WINDOW_DOCS));
+    let shadow_postings: usize = shadow.iter().map(|s| s.postings).sum();
+    assert!(
+        shadow_postings < full.postings,
+        "shadow {shadow_postings} >= full {}",
+        full.postings
+    );
+}

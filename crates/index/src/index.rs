@@ -13,6 +13,17 @@
 //! Composition entries already carry validated [`Weight`]s
 //! (`cts_text::WeightedTerm`), so filing them into the lists is free of
 //! per-entry `f64` re-validation.
+//!
+//! The sharded engine builds **term-filtered shadow indexes**: each worker
+//! shard mirrors the full window in its store (shared `Arc`s, one copy in
+//! memory) but files impact entries only for the terms its own queries
+//! reference ([`InvertedIndex::insert_shared_filtered`]). A query registered
+//! mid-stream may introduce a term the shadow never indexed;
+//! [`InvertedIndex::backfill_term`] rebuilds that one list from the store in
+//! arrival order, and [`InvertedIndex::drop_list`] retires a list once the
+//! last referencing query deregisters.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -48,18 +59,124 @@ impl InvertedIndex {
     /// Inserts an arriving document: stores it and adds one impact entry per
     /// composition-list term.
     pub fn insert_document(&mut self, doc: Document) {
+        self.insert_shared(Arc::new(doc));
+    }
+
+    /// Inserts an already-shared arriving document (the sharded fan-out
+    /// path): stores the `Arc` and adds one impact entry per composition-list
+    /// term.
+    pub fn insert_shared(&mut self, doc: Arc<Document>) {
         for entry in doc.composition.as_slice() {
             self.lists
                 .get_or_default(entry.term)
                 .insert(doc.id, entry.weight);
         }
-        self.store.push(doc);
+        self.store.push_shared(doc);
+    }
+
+    /// Inserts an already-shared arriving document, filing impact entries
+    /// only for composition terms accepted by `allow`. The document itself is
+    /// always stored in full, so later [`InvertedIndex::backfill_term`] calls
+    /// can recover the skipped terms — this is what makes a term-filtered
+    /// shadow index exactly equivalent to the full index *for the filtered
+    /// term set* under arbitrary register/feed interleavings.
+    pub fn insert_shared_filtered(
+        &mut self,
+        doc: Arc<Document>,
+        mut allow: impl FnMut(TermId) -> bool,
+    ) {
+        for entry in doc.composition.as_slice() {
+            if allow(entry.term) {
+                self.lists
+                    .get_or_default(entry.term)
+                    .insert(doc.id, entry.weight);
+            }
+        }
+        self.store.push_shared(doc);
+    }
+
+    /// Builds the inverted list for `term` from the stored documents, in
+    /// arrival order — the exact insertion sequence the unfiltered index
+    /// would have performed. Used when a newly registered query references a
+    /// term the filtered index has not been maintaining. Returns the number
+    /// of postings filed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty list for `term` already exists: backfilling on
+    /// top of live postings would duplicate them, which means the caller's
+    /// term bookkeeping is corrupt.
+    pub fn backfill_term(&mut self, term: TermId) -> usize {
+        self.backfill_terms(&[term])
+    }
+
+    /// Backfills several terms in **one pass over the store** — the
+    /// registration path of a term-filtered shadow index, where a new query
+    /// typically brings several terms live at once and per-term store scans
+    /// would multiply the (window-sized) traversal cost by the query length.
+    /// Postings are filed in arrival order per term, exactly as
+    /// [`InvertedIndex::backfill_term`] would. Returns the total number of
+    /// postings filed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the terms already has a non-empty list (see
+    /// [`InvertedIndex::backfill_term`]) or if `terms` contains duplicates.
+    pub fn backfill_terms(&mut self, terms: &[TermId]) -> usize {
+        for (i, term) in terms.iter().enumerate() {
+            assert!(
+                self.lists.get(*term).is_none_or(|list| list.is_empty()),
+                "backfill of {term} would duplicate an existing list"
+            );
+            assert!(
+                !terms[..i].contains(term),
+                "backfill of {term} requested twice"
+            );
+        }
+        // One traversal of the (window-sized) store collects every term's
+        // postings; the store is iterated immutably while the lists are
+        // built, so the postings are buffered first — a backfill is a rare
+        // (per-register) event and the allocation is proportional to the
+        // rebuilt lists.
+        let mut postings: Vec<Vec<(DocId, cts_text::Weight)>> = vec![Vec::new(); terms.len()];
+        for doc in self.store.iter() {
+            for (slot, term) in terms.iter().enumerate() {
+                // One binary search per (doc, term): composition weights are
+                // strictly positive by construction, so a zero impact means
+                // the term is absent.
+                let weight = doc.composition.impact(*term);
+                if weight > cts_text::Weight::ZERO {
+                    postings[slot].push((doc.id, weight));
+                }
+            }
+        }
+        let mut filed = 0;
+        for (term, term_postings) in terms.iter().zip(postings) {
+            if term_postings.is_empty() {
+                continue;
+            }
+            let list = self.lists.get_or_default(*term);
+            for (doc, weight) in term_postings {
+                list.insert(doc, weight);
+                filed += 1;
+            }
+        }
+        filed
+    }
+
+    /// Drops the inverted list for `term` entirely (the stored documents are
+    /// untouched). Used by filtered shadow indexes when the last query
+    /// referencing `term` deregisters. Returns `true` if a list existed.
+    pub fn drop_list(&mut self, term: TermId) -> bool {
+        self.lists.remove(term).is_some()
     }
 
     /// Removes the document with id `id` (normally the oldest, on expiration):
-    /// deletes its impact entries and returns the document for further
-    /// processing by the engines. Returns `None` if `id` is not valid.
-    pub fn remove_document(&mut self, id: DocId) -> Option<Document> {
+    /// deletes its impact entries and returns the (shared) document for
+    /// further processing by the engines. Returns `None` if `id` is not
+    /// valid. On a filtered index, composition terms that were never indexed
+    /// simply have no list and are skipped.
+    pub fn remove_document(&mut self, id: DocId) -> Option<Arc<Document>> {
         let doc = self.store.remove(id)?;
         for entry in doc.composition.as_slice() {
             let empty = match self.lists.get_mut(entry.term) {
@@ -235,6 +352,71 @@ mod tests {
         let stats = idx.stats();
         assert_eq!(stats.postings, 3);
         assert!(stats.terms <= 3);
+    }
+
+    #[test]
+    fn filtered_insert_skips_lists_but_stores_the_document() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_shared_filtered(Arc::new(doc(1, &[(1, 0.5), (2, 0.4)])), |t| t == TermId(1));
+        assert_eq!(idx.num_documents(), 1);
+        assert_eq!(idx.list(TermId(1)).unwrap().len(), 1);
+        assert!(idx.list(TermId(2)).is_none());
+        // The stored composition is complete, not the filtered projection.
+        assert!(idx
+            .store()
+            .get(DocId(1))
+            .unwrap()
+            .composition
+            .contains(TermId(2)));
+        // Removal of a document whose terms were never indexed is a no-op on
+        // the missing lists.
+        idx.remove_document(DocId(1)).unwrap();
+        assert_eq!(idx.num_terms(), 0);
+    }
+
+    #[test]
+    fn backfill_rebuilds_a_list_in_arrival_order() {
+        let mut full = InvertedIndex::new();
+        let mut shadow = InvertedIndex::new();
+        let docs = [
+            doc(1, &[(7, 0.30), (8, 0.10)]),
+            doc(2, &[(7, 0.50)]),
+            doc(3, &[(9, 0.20)]),
+            doc(4, &[(7, 0.30)]), // tie with d1 on term 7
+        ];
+        for d in docs {
+            full.insert_document(d.clone());
+            shadow.insert_shared_filtered(Arc::new(d), |_| false);
+        }
+        assert!(shadow.list(TermId(7)).is_none());
+        assert_eq!(shadow.backfill_term(TermId(7)), 3);
+        let reference: Vec<_> = full.list(TermId(7)).unwrap().iter().collect();
+        let rebuilt: Vec<_> = shadow.list(TermId(7)).unwrap().iter().collect();
+        assert_eq!(reference, rebuilt);
+        // Terms with no postings in the window backfill to nothing.
+        assert_eq!(shadow.backfill_term(TermId(42)), 0);
+        assert!(shadow.list(TermId(42)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "would duplicate an existing list")]
+    fn backfill_onto_a_live_list_panics() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(7, 0.3)]));
+        idx.backfill_term(TermId(7));
+    }
+
+    #[test]
+    fn drop_list_retires_a_term_without_touching_the_store() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(7, 0.3), (8, 0.2)]));
+        assert!(idx.drop_list(TermId(7)));
+        assert!(!idx.drop_list(TermId(7)));
+        assert!(idx.list(TermId(7)).is_none());
+        assert_eq!(idx.num_documents(), 1);
+        // A later backfill restores exactly the dropped postings.
+        assert_eq!(idx.backfill_term(TermId(7)), 1);
+        assert_eq!(idx.list(TermId(7)).unwrap().len(), 1);
     }
 
     #[test]

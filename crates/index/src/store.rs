@@ -7,8 +7,17 @@
 //! encountered in *any* inverted list) and for expiration handling (the
 //! expiring document's composition list drives the removal of its impact
 //! entries).
+//!
+//! Documents are held behind [`Arc`]: the sharded engine fans every stream
+//! event out to N worker shards, each owning its own store, and the shared
+//! ownership keeps the window's composition lists in memory **once** no
+//! matter how many shards mirror it ([`DocumentStore::push_shared`] is a
+//! refcount bump, not a deep copy). Single-engine callers are unaffected:
+//! [`DocumentStore::push`] still accepts an owned [`Document`] and the
+//! accessors still hand out plain `&Document`.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::document::{DocId, Document, Timestamp};
 
@@ -16,7 +25,7 @@ use crate::document::{DocId, Document, Timestamp};
 #[derive(Debug, Clone, Default)]
 pub struct DocumentStore {
     fifo: VecDeque<DocId>,
-    by_id: HashMap<DocId, Document>,
+    by_id: HashMap<DocId, Arc<Document>>,
 }
 
 impl DocumentStore {
@@ -40,6 +49,17 @@ impl DocumentStore {
     /// Panics if a document with the same id is already stored — document ids
     /// are unique by construction in the streaming model.
     pub fn push(&mut self, doc: Document) {
+        self.push_shared(Arc::new(doc));
+    }
+
+    /// Appends an already-shared document at the tail of the FIFO — a
+    /// refcount bump, so N shards mirroring the same window hold one copy of
+    /// each composition list between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a document with the same id is already stored.
+    pub fn push_shared(&mut self, doc: Arc<Document>) {
         let id = doc.id;
         let previous = self.by_id.insert(id, doc);
         assert!(previous.is_none(), "duplicate document id {id}");
@@ -47,7 +67,7 @@ impl DocumentStore {
     }
 
     /// Removes and returns the oldest valid document, if any.
-    pub fn pop_oldest(&mut self) -> Option<Document> {
+    pub fn pop_oldest(&mut self) -> Option<Arc<Document>> {
         let id = self.fifo.pop_front()?;
         let doc = self
             .by_id
@@ -61,7 +81,7 @@ impl DocumentStore {
     /// Expirations normally remove the oldest document (`O(1)`); removal from
     /// the middle (used when a caller retracts a specific document) costs a
     /// linear scan of the FIFO order.
-    pub fn remove(&mut self, id: DocId) -> Option<Document> {
+    pub fn remove(&mut self, id: DocId) -> Option<Arc<Document>> {
         let doc = self.by_id.remove(&id)?;
         if self.fifo.front() == Some(&id) {
             self.fifo.pop_front();
@@ -75,17 +95,23 @@ impl DocumentStore {
 
     /// The oldest valid document without removing it.
     pub fn oldest(&self) -> Option<&Document> {
-        self.fifo.front().and_then(|id| self.by_id.get(id))
+        self.fifo
+            .front()
+            .and_then(|id| self.by_id.get(id))
+            .map(Arc::as_ref)
     }
 
     /// The most recently arrived document.
     pub fn newest(&self) -> Option<&Document> {
-        self.fifo.back().and_then(|id| self.by_id.get(id))
+        self.fifo
+            .back()
+            .and_then(|id| self.by_id.get(id))
+            .map(Arc::as_ref)
     }
 
     /// Looks up a valid document by id.
     pub fn get(&self, id: DocId) -> Option<&Document> {
-        self.by_id.get(&id)
+        self.by_id.get(&id).map(Arc::as_ref)
     }
 
     /// Whether `id` is currently valid.
@@ -105,7 +131,10 @@ impl DocumentStore {
 
     /// Iterates over the valid documents in arrival (FIFO) order.
     pub fn iter(&self) -> impl Iterator<Item = &Document> {
-        self.fifo.iter().filter_map(move |id| self.by_id.get(id))
+        self.fifo
+            .iter()
+            .filter_map(move |id| self.by_id.get(id))
+            .map(Arc::as_ref)
     }
 
     /// Arrival time of the oldest valid document, if any.
@@ -185,6 +214,20 @@ mod tests {
         s.push(doc(2, 9));
         assert_eq!(s.oldest_arrival(), Some(Timestamp::from_secs(7)));
         assert_eq!(s.total_postings(), 2);
+    }
+
+    #[test]
+    fn push_shared_stores_the_same_allocation() {
+        let mut a = DocumentStore::new();
+        let mut b = DocumentStore::new();
+        let shared = Arc::new(doc(1, 0));
+        a.push_shared(Arc::clone(&shared));
+        b.push_shared(Arc::clone(&shared));
+        // Both stores (and the caller) point at one allocation.
+        assert_eq!(Arc::strong_count(&shared), 3);
+        let out = a.pop_oldest().unwrap();
+        assert!(Arc::ptr_eq(&out, &shared));
+        assert_eq!(b.get(DocId(1)).unwrap().id, DocId(1));
     }
 
     #[test]
