@@ -1,0 +1,148 @@
+//! Ablation: batch size of the sharded engine's burst fan-out.
+//!
+//! Fixes the paper's headline operating point — 1,000 ten-term queries
+//! (`k = 10`) over a 10,000-document count-based window on the 181,978-term
+//! synthetic WSJ-like stream, 4 worker shards — and sweeps the number of
+//! events shipped per `process_batch` round-trip over {1, 16, 64, 256}.
+//! The measured routine processes one whole batch; criterion's per-
+//! iteration time divided by the batch size is the per-event cost, and the
+//! printed readout does that division plus the handoff split: mean wall
+//! time per event minus summed worker busy time per event is the
+//! non-overlapped channel/wake-up overhead the batching exists to amortise.
+//! At batch 1 the fan-out pays one request/reply round-trip per shard per
+//! event; at batch 256 that cost is spread over the burst, so the per-event
+//! overhead should collapse while the worker busy time stays flat (the
+//! workers do identical work either way — the differential tests hold the
+//! outcomes byte-identical).
+//!
+//! Run with `cargo bench --bench ablation_batch`. The paper-scale setup
+//! (window fill + 1,000 registrations per arm) takes a couple of minutes;
+//! set `CTS_ABLATION_BATCH_QUICK=1` to run a reduced point (50 queries,
+//! 400-document window) when iterating on the harness itself.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cts_core::{ContinuousQuery, Engine, ItaConfig, ShardedItaEngine};
+use cts_corpus::{CorpusConfig, DocumentStream, QueryWorkload, StreamConfig, WorkloadConfig};
+use cts_index::SlidingWindow;
+use cts_text::weighting::Scoring;
+use cts_text::Dictionary;
+
+const SHARDS: usize = 4;
+const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+
+struct Point {
+    num_queries: usize,
+    window_docs: usize,
+    corpus: CorpusConfig,
+}
+
+fn operating_point() -> Point {
+    let quick = std::env::var_os("CTS_ABLATION_BATCH_QUICK").is_some();
+    let corpus = CorpusConfig {
+        seed: 0xBA7C_0001,
+        ..if quick {
+            CorpusConfig::small()
+        } else {
+            CorpusConfig::default()
+        }
+    };
+    Point {
+        num_queries: if quick { 50 } else { 1_000 },
+        window_docs: if quick { 400 } else { 10_000 },
+        corpus,
+    }
+}
+
+fn build_queries(point: &Point) -> Vec<ContinuousQuery> {
+    let workload = QueryWorkload::new(
+        WorkloadConfig {
+            num_queries: point.num_queries,
+            query_length: 10,
+            k: 10,
+            popularity_biased: false,
+            seed: 0xBA7C_0002,
+        },
+        point.corpus.vocabulary_size,
+    );
+    let dict = Dictionary::new();
+    workload
+        .generate()
+        .iter()
+        .map(|spec| {
+            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
+        })
+        .collect()
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let point = operating_point();
+    let queries = build_queries(&point);
+    for batch in BATCH_SIZES {
+        let mut engine = ShardedItaEngine::new(
+            SlidingWindow::count_based(point.window_docs),
+            ItaConfig::default(),
+            SHARDS,
+        );
+        let mut stream = DocumentStream::new(
+            point.corpus,
+            StreamConfig {
+                arrival_rate_per_sec: 200.0,
+                seed: 0xBA7C_0003,
+            },
+        );
+        for _ in 0..point.window_docs {
+            engine.process_document(stream.next_document());
+        }
+        for query in &queries {
+            engine.register(query.clone());
+        }
+        eprintln!(
+            "ablation_batch: batch={batch} ready ({} queries, {}-doc window, {SHARDS} shards)",
+            point.num_queries, point.window_docs
+        );
+        // Fill + registration above are untimed setup; zero the worker
+        // accumulators so the busy-time readout covers measured events only.
+        engine.reset_shard_stats();
+        let mut wall = std::time::Duration::ZERO;
+        let mut wall_events = 0u64;
+        c.bench_function(
+            &format!(
+                "sharded_ita/batched/q{}w{}s{SHARDS}/batch={batch}",
+                point.num_queries, point.window_docs
+            ),
+            |b| {
+                b.iter(|| {
+                    // Buffering is part of any real ingest path but not of
+                    // the fan-out under test; generate outside the clock.
+                    let docs: Vec<_> = (0..batch).map(|_| stream.next_document()).collect();
+                    let start = Instant::now();
+                    let outcomes = engine.process_batch(docs);
+                    wall += start.elapsed();
+                    wall_events += outcomes.len() as u64;
+                    outcomes
+                })
+            },
+        );
+        // Handoff readout: wall µs/event vs summed worker busy µs/event.
+        // Their difference is the non-overlapped channel cost per event,
+        // the quantity batching amortises.
+        let busy = engine.aggregate_shard_stats();
+        let busy_events = busy.events / SHARDS as u64;
+        if wall_events > 0 && busy_events > 0 {
+            let wall_per_event = wall.as_secs_f64() * 1e6 / wall_events as f64;
+            let busy_per_event = busy.total_time.as_secs_f64() * 1e6 / busy_events as f64;
+            eprintln!(
+                "sharded_ita/batch={batch}: {wall_per_event:.1} µs wall/event, \
+                 {busy_per_event:.1} µs summed worker busy/event, \
+                 {:.1} µs non-overlapped handoff/event",
+                wall_per_event - busy_per_event
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_batch_sizes);
+criterion_main!(benches);

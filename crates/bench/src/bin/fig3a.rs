@@ -14,9 +14,11 @@
 //! Usage:
 //!   cargo run --release -p cts-bench --bin fig3a            # paper scale
 //!   cargo run --release -p cts-bench --bin fig3a -- --quick # CI smoke grid
-//!   cargo run --release -p cts-bench --bin fig3a -- --shards 4  # 4 workers
+//!   cargo run --release -p cts-bench --bin fig3a -- --shards 4 --batch 64
 //!   options: --events N (measured events/cell), --shards N (sharded-ITA
-//!   workers, default 1), --out PATH (default BENCH_fig3a.json)
+//!   workers, default 1), --batch N (events per sharded process_batch
+//!   round-trip, default 1; > 1 adds a second, batched sharded arm per cell
+//!   next to the per-event one), --out PATH (default BENCH_fig3a.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

@@ -14,7 +14,9 @@
 //!   cargo run --release -p cts-bench --bin fig3b            # paper scale
 //!   cargo run --release -p cts-bench --bin fig3b -- --quick # CI smoke grid
 //!   options: --full (adds the 80k window), --events N, --shards N
-//!   (sharded-ITA workers, default 1), --out PATH (default BENCH_fig3b.json)
+//!   (sharded-ITA workers, default 1), --batch N (events per sharded
+//!   process_batch round-trip, default 1; > 1 adds a second, batched
+//!   sharded arm per cell), --out PATH (default BENCH_fig3b.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

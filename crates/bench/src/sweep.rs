@@ -59,6 +59,11 @@ pub struct SweepSettings {
     pub self_check_stride: usize,
     /// Worker shards for the sharded-ITA arm (1 = a single worker thread).
     pub shards: usize,
+    /// Events per `process_batch` call on the sharded-ITA arm (1 = the
+    /// per-event protocol). The ITA and naive arms always run per-event;
+    /// when `batch > 1` the cell grows an extra `sharded-ita` arm at batch
+    /// 1, so the handoff-overhead reduction is recorded side by side.
+    pub batch: usize,
 }
 
 impl SweepSettings {
@@ -79,6 +84,7 @@ impl SweepSettings {
             seed: 0xF16_3100,
             self_check_stride: 20,
             shards: 1,
+            batch: 1,
         }
     }
 
@@ -131,6 +137,15 @@ pub struct CellReport {
     pub index_postings: Option<usize>,
     /// Worker shards (sharded-ITA arm only).
     pub shards: Option<usize>,
+    /// Events per `process_batch` call this arm was driven with (1 = the
+    /// per-event protocol).
+    pub batch: usize,
+    /// Slowest single batch, microseconds (0 when `batch == 1`; the
+    /// per-event maximum is `max_event_micros` in that case).
+    pub max_batch_micros: f64,
+    /// Queries migrated by the skew rebalancer during the whole run
+    /// (sharded-ITA arm only).
+    pub migrations: Option<u64>,
     /// Mean per-event worker busy time summed across shards, microseconds
     /// (sharded-ITA arm only). Divide by `mean_event_micros` for parallel
     /// utilisation; at 1 shard the difference to `mean_event_micros` is the
@@ -161,6 +176,8 @@ pub struct SweepReport {
     pub k: usize,
     /// Worker shards used by the sharded-ITA arm of every cell.
     pub shards: usize,
+    /// Batch size used by the batched sharded-ITA arm of every cell.
+    pub batch: usize,
     /// One entry per (cell, engine), in execution order.
     pub cells: Vec<CellReport>,
 }
@@ -177,6 +194,7 @@ impl SweepReport {
             query_length: template.query_length,
             k: template.k,
             shards: template.shards,
+            batch: template.batch,
             cells: Vec::new(),
         }
     }
@@ -250,16 +268,20 @@ struct DriveOutcome<E: Engine> {
 }
 
 /// Streams one engine through fill → register → measured events. Document
-/// generation happens between `process_document` calls, so the monitor's
-/// per-event timings never include it (fill_seconds, an informational
+/// generation happens between `process_document`/`process_batch` calls
+/// (inside [`Monitor::run_batched`]'s untimed buffer fill), so the
+/// monitor's timings never include it (fill_seconds, an informational
 /// total, does). `on_measure_start` runs after fill + registration and
 /// before the first measured event — the hook the sharded arm uses to zero
 /// its per-worker statistics, so worker busy time covers exactly the
-/// measured events the wall-clock mean covers.
+/// measured events the wall-clock mean covers. `batch` > 1 drives the
+/// measured events through the engine's batched path, `batch` events per
+/// round-trip.
 fn drive<E: Engine>(
     mut engine: E,
     settings: &SweepSettings,
     queries: &[ContinuousQuery],
+    batch: usize,
     on_measure_start: impl FnOnce(&mut E),
 ) -> DriveOutcome<E> {
     let mut stream = build_stream(settings);
@@ -275,9 +297,10 @@ fn drive<E: Engine>(
 
     on_measure_start(&mut engine);
     let mut monitor = Monitor::new(engine);
-    for _ in 0..settings.measured_events {
-        monitor.process_document(stream.next_document());
-    }
+    monitor.run_batched(
+        (0..settings.measured_events).map(|_| stream.next_document()),
+        batch,
+    );
     DriveOutcome {
         monitor,
         query_ids,
@@ -305,6 +328,9 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
         recomputations: None,
         index_postings: None,
         shards: None,
+        batch: 1,
+        max_batch_micros: stats.max_batch_time.as_secs_f64() * 1e6,
+        migrations: None,
         shard_busy_per_event_micros: None,
         self_check: String::new(),
     }
@@ -313,7 +339,10 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
 /// Runs one cell: ITA first (its final top-k sample becomes the reference
 /// snapshot), then the naïve baseline and the sharded-ITA arm
 /// (`settings.shards` worker threads), each of which must reproduce the
-/// snapshot exactly. Returns the three [`CellReport`]s in execution order.
+/// snapshot exactly. When `settings.batch > 1`, the sharded arm runs
+/// **twice** — once per-event and once batched — so the JSON records the
+/// handoff-overhead reduction side by side. Returns the [`CellReport`]s in
+/// execution order.
 ///
 /// # Panics
 ///
@@ -324,8 +353,12 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
     let window = SlidingWindow::count_based(settings.window_docs);
 
     eprintln!(
-        "  cell: {} queries, {}-doc window, {} events, {} shard(s)",
-        settings.num_queries, settings.window_docs, settings.measured_events, settings.shards
+        "  cell: {} queries, {}-doc window, {} events, {} shard(s), batch {}",
+        settings.num_queries,
+        settings.window_docs,
+        settings.measured_events,
+        settings.shards,
+        settings.batch
     );
 
     // ITA.
@@ -333,6 +366,7 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
         ItaEngine::new(window, ItaConfig::default()),
         settings,
         &queries,
+        1,
         |_| {},
     );
     let sampled = sample_queries(&outcome.query_ids, settings.self_check_stride);
@@ -351,6 +385,7 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
         NaiveEngine::new(window, NaiveConfig::default()),
         settings,
         &queries,
+        1,
         |_| {},
     );
     if let Err(divergence) = compare_to_snapshot(
@@ -372,49 +407,64 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
     drop(outcome);
 
     // Sharded ITA: query-partitioned worker threads over term-filtered
-    // shadow indexes, cross-checked against the same ITA snapshot.
-    let outcome = drive(
-        ShardedItaEngine::new(window, ItaConfig::default(), settings.shards),
-        settings,
-        &queries,
-        // Fill and registration are untimed setup; zero the worker stats so
-        // shard_busy_per_event_micros covers exactly the measured events.
-        ShardedItaEngine::reset_shard_stats,
-    );
-    if let Err(divergence) = compare_to_snapshot(
-        "ita",
-        &snapshot,
-        &outcome.monitor,
-        &sampled,
-        DEFAULT_TOLERANCE,
-    ) {
-        panic!("sharded-vs-single-shard self-check failed: {divergence}");
+    // shadow indexes, cross-checked against the same ITA snapshot — once
+    // per-event, and (when configured) once batched.
+    let mut reports = vec![ita_report, naive_report];
+    let mut batches = vec![1usize];
+    if settings.batch > 1 {
+        batches.push(settings.batch);
     }
-    let mut sharded_report = base_report(settings, &outcome);
-    let engine = outcome.monitor.engine();
-    sharded_report.shards = Some(engine.num_shards());
-    sharded_report.index_postings = Some(
-        engine
-            .shard_index_stats()
-            .iter()
-            .map(|stats| stats.postings)
-            .sum(),
-    );
-    let busy = engine.aggregate_shard_stats();
-    let events = outcome.monitor.stats().events.max(1);
-    sharded_report.shard_busy_per_event_micros =
-        Some(busy.total_time.as_secs_f64() * 1e6 / events as f64);
-    sharded_report.self_check = format!("ok ({} queries)", sampled.len());
-    eprintln!(
-        "    sharded: mean {:.1} µs/event ({} shards, {:.1} µs busy/event), \
-         {:.1} queries touched/event",
-        sharded_report.mean_event_micros,
-        settings.shards,
-        sharded_report.shard_busy_per_event_micros.unwrap(),
-        sharded_report.queries_touched_per_event
-    );
+    for batch in batches {
+        let outcome = drive(
+            ShardedItaEngine::new(window, ItaConfig::default(), settings.shards),
+            settings,
+            &queries,
+            batch,
+            // Fill and registration are untimed setup; zero the worker stats
+            // so shard_busy_per_event_micros covers exactly the measured
+            // events.
+            ShardedItaEngine::reset_shard_stats,
+        );
+        if let Err(divergence) = compare_to_snapshot(
+            "ita",
+            &snapshot,
+            &outcome.monitor,
+            &sampled,
+            DEFAULT_TOLERANCE,
+        ) {
+            panic!("sharded-vs-single-shard self-check failed (batch {batch}): {divergence}");
+        }
+        let mut sharded_report = base_report(settings, &outcome);
+        sharded_report.batch = batch;
+        let engine = outcome.monitor.engine();
+        sharded_report.shards = Some(engine.num_shards());
+        sharded_report.migrations = Some(engine.migrations());
+        sharded_report.index_postings = Some(
+            engine
+                .shard_index_stats()
+                .iter()
+                .map(|stats| stats.postings)
+                .sum(),
+        );
+        let busy = engine.aggregate_shard_stats();
+        let events = outcome.monitor.stats().events.max(1);
+        sharded_report.shard_busy_per_event_micros =
+            Some(busy.total_time.as_secs_f64() * 1e6 / events as f64);
+        sharded_report.self_check = format!("ok ({} queries)", sampled.len());
+        eprintln!(
+            "    sharded: mean {:.1} µs/event ({} shards, batch {}, {:.1} µs busy/event, \
+             {} migrations), {:.1} queries touched/event",
+            sharded_report.mean_event_micros,
+            settings.shards,
+            batch,
+            sharded_report.shard_busy_per_event_micros.unwrap(),
+            sharded_report.migrations.unwrap(),
+            sharded_report.queries_touched_per_event
+        );
+        reports.push(sharded_report);
+    }
 
-    vec![ita_report, naive_report, sharded_report]
+    reports
 }
 
 /// Shared command-line options of the sweep binaries.
@@ -430,19 +480,26 @@ pub struct SweepOptions {
     pub events: Option<usize>,
     /// Worker shards for the sharded-ITA arm of every cell.
     pub shards: usize,
+    /// Events per `process_batch` round-trip for the batched sharded arm
+    /// (1 disables the extra batched arm).
+    pub batch: usize,
 }
 
 /// The usage text printed when a sweep binary is invoked with bad arguments.
 pub const USAGE: &str =
-    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--out PATH]
+    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--batch N] [--out PATH]
   --quick     run the reduced CI-smoke grid instead of the paper-scale one
   --full      extend the grid to its largest (slowest) configuration
   --events N  measured events per cell (positive integer)
   --shards N  worker shards for the sharded-ITA arm (positive integer, default 1)
+  --batch N   events per process_batch round-trip on the sharded arm (positive
+              integer, default 1; values > 1 add a second, batched sharded arm
+              to every cell next to the per-event one)
   --out PATH  output path for the JSON report";
 
 impl SweepOptions {
-    /// Parses `--quick`, `--full`, `--events N` and `--out PATH` from the
+    /// Parses `--quick`, `--full`, `--events N`, `--shards N`, `--batch N`
+    /// and `--out PATH` from the
     /// process arguments; `default_out` names the report file. On an unknown
     /// flag or a malformed value, prints the error and [`USAGE`] to stderr
     /// and exits with status 2 — CI fails loudly on typos rather than
@@ -467,6 +524,7 @@ impl SweepOptions {
             out: default_out.to_string(),
             events: None,
             shards: 1,
+            batch: 1,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -496,6 +554,16 @@ impl SweepOptions {
                     }
                     options.shards = parsed;
                 }
+                "--batch" => {
+                    let value = args.next().ok_or("--batch requires a count")?;
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| format!("--batch requires an integer, got {value:?}"))?;
+                    if parsed == 0 {
+                        return Err("--batch requires a positive count".to_string());
+                    }
+                    options.batch = parsed;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -520,6 +588,7 @@ pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
     };
     for cell in &mut cells {
         cell.shards = options.shards;
+        cell.batch = options.batch;
     }
     cells
 }
@@ -546,6 +615,7 @@ pub fn fig3b_grid(options: &SweepOptions) -> Vec<SweepSettings> {
     };
     for cell in &mut cells {
         cell.shards = options.shards;
+        cell.batch = options.batch;
     }
     cells
 }
@@ -614,6 +684,36 @@ mod tests {
     }
 
     #[test]
+    fn a_batched_cell_grows_a_second_sharded_arm_that_matches() {
+        let mut settings = SweepSettings::quick(8, 60, 40);
+        settings.shards = 2;
+        settings.batch = 16;
+        let cells = run_cell(&settings);
+        assert_eq!(cells.len(), 4);
+        let (singles, batched) = (&cells[2], &cells[3]);
+        assert_eq!(singles.engine, "sharded-ita");
+        assert_eq!(batched.engine, "sharded-ita");
+        assert_eq!(singles.batch, 1);
+        assert_eq!(batched.batch, 16);
+        // Both sharded arms processed every event and reproduced the ITA
+        // snapshot; the batched arm was really driven through
+        // process_batch (it recorded whole-batch maxima, no per-event max).
+        assert_eq!(singles.measured_events, 40);
+        assert_eq!(batched.measured_events, 40);
+        assert!(batched.self_check.starts_with("ok ("));
+        assert!(batched.max_batch_micros > 0.0);
+        assert_eq!(batched.max_event_micros, 0.0);
+        assert!(singles.max_event_micros > 0.0);
+        assert_eq!(singles.max_batch_micros, 0.0);
+        assert!(batched.migrations.is_some());
+        // The per-event work measure is protocol-independent.
+        assert_eq!(
+            singles.queries_touched_per_event,
+            batched.queries_touched_per_event
+        );
+    }
+
+    #[test]
     fn reports_serialise_to_json() {
         let settings = SweepSettings::quick(4, 30, 10);
         let mut report = SweepReport::new("fig3x", "test sweep", &settings);
@@ -631,18 +731,20 @@ mod tests {
     #[test]
     fn argument_grammar_accepts_the_documented_flags() {
         let options = parse(&[
-            "--quick", "--events", "50", "--shards", "4", "--out", "x.json",
+            "--quick", "--events", "50", "--shards", "4", "--batch", "64", "--out", "x.json",
         ])
         .unwrap();
         assert!(options.quick);
         assert!(!options.full);
         assert_eq!(options.events, Some(50));
         assert_eq!(options.shards, 4);
+        assert_eq!(options.batch, 64);
         assert_eq!(options.out, "x.json");
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.out, "DEFAULT.json");
         assert_eq!(defaults.events, None);
         assert_eq!(defaults.shards, 1);
+        assert_eq!(defaults.batch, 1);
     }
 
     #[test]
@@ -656,9 +758,13 @@ mod tests {
         assert!(parse(&["--shards"]).unwrap_err().contains("count"));
         assert!(parse(&["--shards", "no"]).unwrap_err().contains("no"));
         assert!(parse(&["--shards", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--batch"]).unwrap_err().contains("count"));
+        assert!(parse(&["--batch", "half"]).unwrap_err().contains("half"));
+        assert!(parse(&["--batch", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--out"]).unwrap_err().contains("path"));
         assert!(USAGE.contains("--events"));
         assert!(USAGE.contains("--shards"));
+        assert!(USAGE.contains("--batch"));
     }
 
     #[test]
@@ -681,6 +787,7 @@ mod tests {
             out: String::new(),
             events: None,
             shards: 4,
+            batch: 64,
         };
         let quick = SweepOptions {
             quick: true,
@@ -691,8 +798,10 @@ mod tests {
             ..paper.clone()
         };
         let a = fig3a_grid(&paper);
-        assert!(a.iter().all(|s| s.shards == 4));
-        assert!(fig3b_grid(&paper).iter().all(|s| s.shards == 4));
+        assert!(a.iter().all(|s| s.shards == 4 && s.batch == 64));
+        assert!(fig3b_grid(&paper)
+            .iter()
+            .all(|s| s.shards == 4 && s.batch == 64));
         assert_eq!(
             a.iter().map(|s| s.num_queries).collect::<Vec<_>>(),
             vec![100, 250, 500, 1_000]

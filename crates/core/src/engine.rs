@@ -64,6 +64,21 @@ pub trait Engine {
     /// it triggers under the engine's sliding window.
     fn process_document(&mut self, doc: Document) -> EventOutcome;
 
+    /// Processes a burst of stream events in arrival order, returning one
+    /// [`EventOutcome`] per document — **byte-identical** to calling
+    /// [`Engine::process_document`] once per document, in order. That
+    /// equivalence is the contract every override must keep (and the
+    /// batch-vs-singles differential tests enforce): batching may only
+    /// amortise *dispatch* cost, never change what is computed. The default
+    /// implementation is the per-event loop itself; engines with a cheaper
+    /// burst path (the sharded engine fans a whole batch out in one channel
+    /// round-trip per shard) override it.
+    fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
+        docs.into_iter()
+            .map(|doc| self.process_document(doc))
+            .collect()
+    }
+
     /// The current top-k of `query`, best first. Fewer than `k` entries are
     /// returned when fewer than `k` valid documents match the query at all.
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument>;
@@ -79,6 +94,50 @@ pub trait Engine {
 
     /// A short, stable name for reporting ("ita", "naive", …).
     fn name(&self) -> &'static str;
+}
+
+/// Mutable references to engines are engines: harnesses that want to drive
+/// an engine they do not own (e.g. the testkit's lockstep runner over a
+/// caller-owned pair, so the caller can inspect concrete state afterwards)
+/// box `&mut E` instead of `E`. Every method delegates — including
+/// [`Engine::process_batch`], which must reach the engine's native override
+/// rather than fall back to the default per-event loop.
+impl<E: Engine + ?Sized> Engine for &mut E {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        (**self).register(query)
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        (**self).deregister(query)
+    }
+
+    fn process_document(&mut self, doc: Document) -> EventOutcome {
+        (**self).process_document(doc)
+    }
+
+    fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
+        (**self).process_batch(docs)
+    }
+
+    fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
+        (**self).current_results(query)
+    }
+
+    fn num_queries(&self) -> usize {
+        (**self).num_queries()
+    }
+
+    fn num_valid_documents(&self) -> usize {
+        (**self).num_valid_documents()
+    }
+
+    fn clock(&self) -> Timestamp {
+        (**self).clock()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,27 @@ impl TermRefCounts {
     }
 }
 
+/// A query's complete ITA state, packaged for migration between engines —
+/// the payload of the sharded engine's skew rebalancer. Produced by
+/// [`ItaEngine::extract_query`] and consumed by [`ItaEngine::install_query`];
+/// it carries the query itself, its result set `R`, its local thresholds
+/// `θ_{Q,t}` and its bookkeeping counters, so the receiving engine resumes
+/// maintenance **exactly** where the sender stopped — no threshold search is
+/// re-run, no result is recomputed, and every future event is processed
+/// byte-identically to an engine that had hosted the query all along.
+#[derive(Debug, Clone)]
+pub struct QueryMigration {
+    state: QueryState,
+}
+
+impl QueryMigration {
+    /// The terms (with local thresholds) the migrated query watches —
+    /// what the receiving shard must cover in its shadow index.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.state.thresholds.iter().map(|(term, _)| *term)
+    }
+}
+
 /// Per-query mutable state.
 #[derive(Debug, Clone)]
 struct QueryState {
@@ -541,6 +562,63 @@ impl ItaEngine {
         self.run_threshold_search(qid, true);
     }
 
+    /// Removes `query` from this engine **without discarding its state**,
+    /// returning the [`QueryMigration`] package an [`ItaEngine::install_query`]
+    /// call on another engine (over the same window contents) consumes. The
+    /// engine-side teardown is exactly [`Engine::deregister`]'s: threshold-tree
+    /// entries are removed (empty trees retired) and, on a term-filtered
+    /// engine, term references are released (last-reference lists dropped).
+    /// Returns `None` if the query is not registered.
+    pub fn extract_query(&mut self, query: QueryId) -> Option<QueryMigration> {
+        let state = self.queries.remove(query)?;
+        for (term, theta) in &state.thresholds {
+            if let Some(tree) = self.trees.get_mut(*term) {
+                tree.remove(query, *theta);
+                if tree.is_empty() {
+                    self.trees.remove(*term);
+                }
+            }
+            if let Some(filter) = &mut self.term_filter {
+                if filter.release(*term) {
+                    self.index.drop_list(*term);
+                }
+            }
+        }
+        Some(QueryMigration { state })
+    }
+
+    /// Installs a query previously [`ItaEngine::extract_query`]ed from an
+    /// engine whose valid-document window matches this one's (the sharded
+    /// engine's shards all mirror the same window, so any shard pair
+    /// qualifies). The migrated thresholds are filed into the threshold trees
+    /// verbatim and, on a term-filtered engine, newly-live terms are
+    /// backfilled from the stored window — after which this engine maintains
+    /// the query byte-identically to the one it left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is already registered here.
+    pub fn install_query(&mut self, qid: QueryId, migration: QueryMigration) {
+        self.next_query = self.next_query.max(qid.0.saturating_add(1));
+        let QueryMigration { state } = migration;
+        if let Some(filter) = &mut self.term_filter {
+            let newly_live: Vec<TermId> = state
+                .thresholds
+                .iter()
+                .filter(|(term, _)| filter.acquire(*term))
+                .map(|(term, _)| *term)
+                .collect();
+            if !newly_live.is_empty() {
+                self.index.backfill_terms(&newly_live);
+            }
+        }
+        for (term, theta) in &state.thresholds {
+            self.trees.get_or_default(*term).insert(qid, *theta);
+        }
+        let previous = self.queries.insert(qid, state);
+        assert!(previous.is_none(), "query id {qid} is already registered");
+    }
+
     /// Processes one already-shared stream event — the fan-out path of the
     /// sharded engine, where every shard receives the same `Arc`'d document
     /// and the window's composition lists exist once in memory no matter how
@@ -586,23 +664,8 @@ impl Engine for ItaEngine {
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
-        let Some(state) = self.queries.remove(query) else {
-            return false;
-        };
-        for (term, theta) in &state.thresholds {
-            if let Some(tree) = self.trees.get_mut(*term) {
-                tree.remove(query, *theta);
-                if tree.is_empty() {
-                    self.trees.remove(*term);
-                }
-            }
-            if let Some(filter) = &mut self.term_filter {
-                if filter.release(*term) {
-                    self.index.drop_list(*term);
-                }
-            }
-        }
-        true
+        // Deregistration is extraction with the migrated state discarded.
+        self.extract_query(query).is_some()
     }
 
     fn process_document(&mut self, doc: Document) -> EventOutcome {
@@ -929,6 +992,108 @@ mod tests {
             filtered.index_stats().documents,
             full.index_stats().documents
         );
+    }
+
+    #[test]
+    fn extract_install_migration_is_behaviour_preserving() {
+        // Two term-filtered engines over the same stream (the shard
+        // configuration): migrating a query from one to the other
+        // mid-stream must leave every observable — results, bookkeeping
+        // counters, thresholds, event outcomes — exactly as if the query had
+        // lived on the destination all along (modelled by `stayed`).
+        let window = SlidingWindow::count_based(15);
+        let mut source = ItaEngine::term_filtered(window, ItaConfig::default());
+        let mut destination = ItaEngine::term_filtered(window, ItaConfig::default());
+        let mut stayed = ItaEngine::term_filtered(window, ItaConfig::default());
+        let q = ContinuousQuery::from_weights([(TermId(1), 0.7), (TermId(2), 0.3)], 3);
+        let qid = source.register(q.clone());
+        assert_eq!(stayed.register(q), qid);
+        let feed = |engines: &mut [&mut ItaEngine], lo: u64, hi: u64| {
+            for i in lo..hi {
+                let d = doc(
+                    i,
+                    &[
+                        ((i % 4) as u32, 0.1 + (i % 7) as f64 * 0.09),
+                        (2, 0.05 + (i % 3) as f64 * 0.2),
+                    ],
+                );
+                for engine in engines.iter_mut() {
+                    engine.process_document(d.clone());
+                }
+            }
+        };
+        feed(&mut [&mut source, &mut destination, &mut stayed], 0, 40);
+        let migration = source.extract_query(qid).expect("query is registered");
+        assert!(source.extract_query(qid).is_none(), "extract removes");
+        assert_eq!(source.num_queries(), 0);
+        // The extracted package names the terms the destination must cover.
+        let terms: Vec<u32> = migration.terms().map(|t| t.0).collect();
+        assert_eq!(terms, vec![1, 2]);
+        // The source dropped its now-unreferenced shadow lists.
+        assert_eq!(source.index_stats().postings, 0);
+        destination.install_query(qid, migration);
+        assert_eq!(destination.num_queries(), 1);
+        assert_eq!(
+            destination.current_results(qid),
+            stayed.current_results(qid)
+        );
+        assert_eq!(destination.query_stats(qid), stayed.query_stats(qid));
+        assert_eq!(
+            destination.local_threshold(qid, TermId(1)),
+            stayed.local_threshold(qid, TermId(1))
+        );
+        // Post-migration traffic (arrivals, expirations, refills, roll-ups)
+        // stays in lockstep with the engine that never migrated.
+        for i in 40..120u64 {
+            let d = doc(
+                i,
+                &[
+                    ((i % 4) as u32, 0.1 + (i % 7) as f64 * 0.09),
+                    (2, 0.05 + (i % 3) as f64 * 0.2),
+                ],
+            );
+            let a = destination.process_document(d.clone());
+            let b = stayed.process_document(d);
+            assert_eq!(a, b, "outcomes diverged at event {i}");
+            assert_eq!(
+                destination.current_results(qid),
+                stayed.current_results(qid)
+            );
+        }
+        assert_eq!(destination.query_stats(qid), stayed.query_stats(qid));
+    }
+
+    #[test]
+    fn default_process_batch_is_the_per_event_loop() {
+        let mut batched = engine(6);
+        let mut singles = engine(6);
+        let qa = batched.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        let qb = singles.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        let docs: Vec<Document> = (0..10u64)
+            .map(|i| doc(i, &[(1, 0.1 + (i % 4) as f64 * 0.2)]))
+            .collect();
+        let expected: Vec<EventOutcome> = docs
+            .clone()
+            .into_iter()
+            .map(|d| singles.process_document(d))
+            .collect();
+        assert_eq!(batched.process_batch(docs), expected);
+        assert_eq!(batched.current_results(qa), singles.current_results(qb));
+        assert!(batched.process_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn install_over_a_live_id_panics() {
+        let mut a = engine(4);
+        let mut b = engine(4);
+        let qid = a.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        assert_eq!(
+            b.register(ContinuousQuery::from_weights([(TermId(2), 1.0)], 1)),
+            qid
+        );
+        let migration = a.extract_query(qid).unwrap();
+        b.install_query(qid, migration);
     }
 
     #[test]

@@ -58,15 +58,16 @@ pub mod result;
 pub mod server;
 pub mod sharded;
 pub mod slab;
+pub mod testkit;
 pub mod validate;
 
 pub use engine::{Engine, EventOutcome, RankedDocument};
-pub use ita::{ItaConfig, ItaEngine, ItaQueryStats};
+pub use ita::{ItaConfig, ItaEngine, ItaQueryStats, QueryMigration};
 pub use monitor::{Monitor, ProcessingStats};
 pub use naive::{NaiveConfig, NaiveEngine};
 pub use oracle::BruteForceOracle;
 pub use query::ContinuousQuery;
 pub use result::ResultSet;
 pub use server::MonitoringServer;
-pub use sharded::ShardedItaEngine;
+pub use sharded::{RebalanceConfig, ShardedItaEngine};
 pub use slab::QuerySlab;

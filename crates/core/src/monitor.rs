@@ -27,10 +27,21 @@ pub struct ProcessingStats {
     pub queries_touched_by_expiration: u64,
     /// Sum of `results_changed` over all events.
     pub results_changed: u64,
-    /// Total wall-clock time spent inside `process_document`.
+    /// Total wall-clock time spent inside `process_document` /
+    /// `process_batch`.
     pub total_time: Duration,
-    /// The most expensive single event.
+    /// The most expensive single event. Only individually-timed events
+    /// contribute: batches are timed as a whole (see
+    /// [`ProcessingStats::record_batch`]), so their per-event maxima are
+    /// unknown and tracked as [`ProcessingStats::max_batch_time`] instead.
     pub max_event_time: Duration,
+    /// Number of [`crate::Engine::process_batch`] calls recorded (singleton
+    /// batches are recorded through the per-event path and do not count).
+    pub batches: u64,
+    /// Largest batch recorded, in events.
+    pub largest_batch: u64,
+    /// The most expensive single batch (whole-batch wall clock).
+    pub max_batch_time: Duration,
 }
 
 impl ProcessingStats {
@@ -44,6 +55,28 @@ impl ProcessingStats {
         self.total_time += elapsed;
         if elapsed > self.max_event_time {
             self.max_event_time = elapsed;
+        }
+    }
+
+    /// Folds one batch's outcomes and its whole-batch duration into the
+    /// totals. Counters sum exactly as if each event had been recorded
+    /// individually; the only information a batch loses is the per-event
+    /// timing split, so `elapsed` goes to `total_time` (keeping
+    /// [`ProcessingStats::mean_event_time`] exact) and to the batch-level
+    /// maximum rather than `max_event_time`.
+    pub fn record_batch(&mut self, outcomes: &[EventOutcome], elapsed: Duration) {
+        self.events += outcomes.len() as u64;
+        for outcome in outcomes {
+            self.expirations += outcome.expired as u64;
+            self.queries_touched_by_arrival += outcome.queries_touched_by_arrival as u64;
+            self.queries_touched_by_expiration += outcome.queries_touched_by_expiration as u64;
+            self.results_changed += outcome.results_changed as u64;
+        }
+        self.total_time += elapsed;
+        self.batches += 1;
+        self.largest_batch = self.largest_batch.max(outcomes.len() as u64);
+        if elapsed > self.max_batch_time {
+            self.max_batch_time = elapsed;
         }
     }
 
@@ -96,6 +129,9 @@ impl ProcessingStats {
         self.results_changed += other.results_changed;
         self.total_time += other.total_time;
         self.max_event_time = self.max_event_time.max(other.max_event_time);
+        self.batches += other.batches;
+        self.largest_batch = self.largest_batch.max(other.largest_batch);
+        self.max_batch_time = self.max_batch_time.max(other.max_batch_time);
     }
 
     /// The change in counters since `earlier` (saturating; `earlier` should
@@ -119,6 +155,9 @@ impl ProcessingStats {
             results_changed: self.results_changed.saturating_sub(earlier.results_changed),
             total_time: self.total_time.saturating_sub(earlier.total_time),
             max_event_time: self.max_event_time,
+            batches: self.batches.saturating_sub(earlier.batches),
+            largest_batch: self.largest_batch,
+            max_batch_time: self.max_batch_time,
         }
     }
 }
@@ -178,6 +217,46 @@ impl<E: Engine> Monitor<E> {
         batch
     }
 
+    /// Drives the whole document iterator through the engine's batched path,
+    /// `batch` events per [`Engine::process_batch`] call (the final batch may
+    /// be shorter), returning the statistics for exactly this run. Outcomes
+    /// are byte-identical to [`Monitor::run`] — batching only amortises
+    /// dispatch — but timing is recorded per batch, not per event. A `batch`
+    /// of 1 (or 0, treated as 1) degenerates to [`Monitor::run`] exactly,
+    /// per-event maxima included.
+    pub fn run_batched<I>(&mut self, docs: I, batch: usize) -> ProcessingStats
+    where
+        I: IntoIterator<Item = Document>,
+    {
+        let batch = batch.max(1);
+        if batch == 1 {
+            return self.run(docs);
+        }
+        let mut stats = ProcessingStats::default();
+        let mut docs = docs.into_iter().peekable();
+        let mut buffer = Vec::with_capacity(batch);
+        while docs.peek().is_some() {
+            buffer.extend(docs.by_ref().take(batch));
+            if buffer.len() == 1 {
+                // A trailing partial batch of one is a single event, and is
+                // recorded as one (per-event maxima included, `batches` not
+                // bumped) — the same singleton routing Engine::process_batch
+                // on Monitor performs.
+                let doc = buffer.pop().expect("len checked");
+                let start = Instant::now();
+                let outcome = self.engine.process_document(doc);
+                stats.record(&outcome, start.elapsed());
+                continue;
+            }
+            let start = Instant::now();
+            let outcomes = self.engine.process_batch(std::mem::take(&mut buffer));
+            stats.record_batch(&outcomes, start.elapsed());
+            buffer = Vec::with_capacity(batch);
+        }
+        self.stats.absorb(&stats);
+        stats
+    }
+
     /// Resets the accumulated statistics to zero.
     pub fn reset_stats(&mut self) {
         self.stats = ProcessingStats::default();
@@ -198,6 +277,25 @@ impl<E: Engine> Engine for Monitor<E> {
         let outcome = self.engine.process_document(doc);
         self.stats.record(&outcome, start.elapsed());
         outcome
+    }
+
+    fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
+        // An empty batch is a no-op and must not touch the stats (a timed
+        // zero-event batch would inflate `batches` and drift the mean); a
+        // singleton batch is recorded through the per-event path, so the
+        // batch==1 protocol produces stats indistinguishable from singles
+        // (per-event maxima included).
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        if docs.len() == 1 {
+            let doc = docs.into_iter().next().expect("len checked");
+            return vec![self.process_document(doc)];
+        }
+        let start = Instant::now();
+        let outcomes = self.engine.process_batch(docs);
+        self.stats.record_batch(&outcomes, start.elapsed());
+        outcomes
     }
 
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
@@ -313,6 +411,7 @@ mod tests {
             results_changed: 4,
             total_time: Duration::from_nanos(10),
             max_event_time: Duration::from_nanos(6),
+            ..ProcessingStats::default()
         };
         let b = ProcessingStats {
             events: 5,
@@ -322,6 +421,7 @@ mod tests {
             results_changed: 1,
             total_time: Duration::from_nanos(11),
             max_event_time: Duration::from_nanos(4),
+            ..ProcessingStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.events, 8);
@@ -377,6 +477,103 @@ mod tests {
         assert_eq!(second.expirations, 5);
         assert_eq!(m.stats().events, 8);
         assert_eq!(m.stats().total_time, first.total_time + second.total_time);
+    }
+
+    #[test]
+    fn record_batch_sums_counters_like_singles_and_tracks_batch_shape() {
+        let outcome = |touched: usize| EventOutcome {
+            queries_touched_by_arrival: touched,
+            expired: 1,
+            results_changed: touched / 2,
+            ..EventOutcome::default()
+        };
+        let outcomes: Vec<EventOutcome> = (0..5).map(outcome).collect();
+        let mut singles = ProcessingStats::default();
+        for o in &outcomes {
+            singles.record(o, Duration::from_nanos(20));
+        }
+        let mut batched = ProcessingStats::default();
+        batched.record_batch(&outcomes, Duration::from_nanos(100));
+        // Same counters, same total time; only the per-event/batch timing
+        // split differs.
+        assert_eq!(batched.events, singles.events);
+        assert_eq!(batched.expirations, singles.expirations);
+        assert_eq!(
+            batched.queries_touched_by_arrival,
+            singles.queries_touched_by_arrival
+        );
+        assert_eq!(batched.results_changed, singles.results_changed);
+        assert_eq!(batched.total_time, singles.total_time);
+        assert_eq!(batched.mean_event_time(), singles.mean_event_time());
+        assert_eq!(batched.batches, 1);
+        assert_eq!(batched.largest_batch, 5);
+        assert_eq!(batched.max_batch_time, Duration::from_nanos(100));
+        assert_eq!(batched.max_event_time, Duration::ZERO);
+        // Batch bookkeeping merges through absorb: totals add, maxima max.
+        let mut merged = batched;
+        let mut more = ProcessingStats::default();
+        more.record_batch(&outcomes[..2], Duration::from_nanos(300));
+        merged.absorb(&more);
+        assert_eq!(merged.batches, 2);
+        assert_eq!(merged.largest_batch, 5);
+        assert_eq!(merged.max_batch_time, Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn monitor_process_batch_times_batches_and_degenerates_to_singles_at_one() {
+        let mut m = monitored();
+        m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        // A singleton batch goes through the per-event path.
+        let outcomes = m.process_batch(vec![doc(0, 0.5)]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(m.stats().batches, 0);
+        assert!(m.stats().max_event_time > Duration::ZERO);
+        // A real batch is timed as a whole.
+        let outcomes = m.process_batch((1..5u64).map(|i| doc(i, 0.5)).collect());
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(m.stats().events, 5);
+        assert_eq!(m.stats().batches, 1);
+        assert_eq!(m.stats().largest_batch, 4);
+        assert!(m.stats().max_batch_time > Duration::ZERO);
+        // Empty batches are a full no-op: no event, no batch, no time.
+        let before = *m.stats();
+        assert!(m.process_batch(Vec::new()).is_empty());
+        assert_eq!(m.stats(), &before);
+    }
+
+    #[test]
+    fn run_batched_routes_a_trailing_singleton_through_the_per_event_path() {
+        let mut m = monitored();
+        m.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 1));
+        // 7 events at batch 3: two real batches (3 + 3) and one trailing
+        // single event — recorded as an event, not a phantom batch, so its
+        // per-event maximum is kept.
+        let stats = m.run_batched((0..7u64).map(|i| doc(i, 0.5)), 3);
+        assert_eq!(stats.events, 7);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.largest_batch, 3);
+        assert!(stats.max_event_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_batched_matches_run_event_for_event() {
+        let mut batched = monitored();
+        let mut singles = monitored();
+        let qa = batched.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        let qb = singles.register(ContinuousQuery::from_weights([(TermId(1), 1.0)], 2));
+        let docs = |lo: u64, hi: u64| (lo..hi).map(|i| doc(i, 0.1 + (i % 4) as f64 * 0.2));
+        // Batch size 3 over 8 events: batches of 3, 3 and 2.
+        let stats = batched.run_batched(docs(0, 8), 3);
+        singles.run(docs(0, 8));
+        assert_eq!(stats.events, 8);
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.largest_batch, 3);
+        assert_eq!(batched.current_results(qa), singles.current_results(qb));
+        assert_eq!(batched.stats().expirations, singles.stats().expirations);
+        // batch <= 1 degenerates to the per-event path exactly.
+        let stats = batched.run_batched(docs(8, 10), 1);
+        assert_eq!(stats.batches, 0);
+        assert!(stats.max_event_time > Duration::ZERO);
     }
 
     #[test]

@@ -70,6 +70,27 @@ impl<E: Engine> MonitoringServer<E> {
         self.monitor.process_document(doc)
     }
 
+    /// Feeds a whole burst of stream events through the engine's batched
+    /// path ([`Engine::process_batch`]) in one call, returning one
+    /// [`EventOutcome`] per document. Outcomes are byte-identical to feeding
+    /// the documents one [`MonitoringServer::feed`] at a time; engines with a
+    /// native burst path (the sharded engine) amortise their per-event
+    /// dispatch cost across the batch. The batch is timed as a whole — see
+    /// [`ProcessingStats::record_batch`] for what the cumulative stats track.
+    pub fn feed_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
+        self.monitor.process_batch(docs)
+    }
+
+    /// Feeds a document iterator through the batched path, `batch` events
+    /// per [`Engine::process_batch`] call, returning the processing
+    /// statistics for exactly this run (see [`Monitor::run_batched`]).
+    pub fn run_batched<I>(&mut self, docs: I, batch: usize) -> ProcessingStats
+    where
+        I: IntoIterator<Item = Document>,
+    {
+        self.monitor.run_batched(docs, batch)
+    }
+
     /// Feeds a whole batch of documents, returning the processing statistics
     /// for exactly this batch (recorded separately and
     /// [`ProcessingStats::absorb`]ed into the cumulative stats — see

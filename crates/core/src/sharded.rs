@@ -21,6 +21,32 @@
 //! through [`ProcessingStats::absorb`], so monitors and the sweep harness
 //! see exact aggregate numbers.
 //!
+//! A stream **burst** is fanned out even more cheaply:
+//! [`crate::Engine::process_batch`] ships the whole batch of `Arc`'d
+//! documents to every shard in **one request/reply round-trip per shard**,
+//! amortising the channel handoff and worker wake-up across the burst while
+//! each worker still processes (and times) the events one by one, in order —
+//! so the outcomes are byte-identical to the per-event loop, which the
+//! batch-vs-singles differential tests enforce.
+//!
+//! ## Skew-aware rebalancing
+//!
+//! Static hash partitioning can be defeated by churn: if the surviving query
+//! population happens to concentrate on one shard, that worker carries the
+//! whole load while the rest idle. The coordinator therefore tracks the
+//! per-shard query count and, at load-change and batch boundaries (never
+//! mid-event), **migrates** queries from the heaviest to the lightest shard
+//! while the heaviest exceeds [`RebalanceConfig::max_over_ideal`] times the
+//! uniform share. A migration moves the query's complete ITA state —
+//! result set, local thresholds, counters — via
+//! [`ItaEngine::extract_query`]/[`ItaEngine::install_query`]; the receiving
+//! shard backfills shadow-index lists for terms that just became live and
+//! files the migrated thresholds verbatim, so processing resumes
+//! byte-identically on the new shard (no threshold search is re-run). The
+//! routing table ([`ShardedItaEngine::assigned_shard`]) supersedes the
+//! initial hash placement ([`ShardedItaEngine::shard_of`]) once a query has
+//! moved.
+//!
 //! Workers are **persistent**: they are spawned once inside a
 //! [`std::thread::scope`] held by a supervisor thread and live until the
 //! engine is dropped, so steady-state event processing pays a channel
@@ -44,6 +70,7 @@
 //! outcomes against [`ItaEngine`] across shard counts, deregistration and
 //! window expiry.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,7 +79,7 @@ use std::time::Instant;
 use cts_index::{Document, IndexStats, QueryId, SlidingWindow, Timestamp};
 
 use crate::engine::{Engine, EventOutcome};
-use crate::ita::{ItaConfig, ItaEngine, ItaQueryStats};
+use crate::ita::{ItaConfig, ItaEngine, ItaQueryStats, QueryMigration};
 use crate::monitor::ProcessingStats;
 use crate::query::ContinuousQuery;
 use crate::result::RankedDocument;
@@ -66,6 +93,15 @@ enum ShardRequest {
     /// Process one fanned-out stream event (synchronous; replies with the
     /// shard's [`EventOutcome`]).
     Process(Arc<Document>),
+    /// Process a whole fanned-out burst in one round-trip (synchronous;
+    /// replies with one [`EventOutcome`] per document, in order). The burst
+    /// itself is shared: sending it to `N` shards bumps one refcount per
+    /// shard, not one per document per shard.
+    ProcessBatch(Arc<[Arc<Document>]>),
+    /// Extract a query's complete ITA state for migration (synchronous).
+    Extract(QueryId),
+    /// Install a migrated query under its existing id (synchronous).
+    Install(QueryId, Box<QueryMigration>),
     /// Read a query's current top-k.
     Results(QueryId),
     /// Read a query's ITA bookkeeping snapshot.
@@ -87,6 +123,9 @@ enum ShardReply {
     Registered,
     Deregistered(bool),
     Processed(EventOutcome),
+    ProcessedBatch(Vec<EventOutcome>),
+    Extracted(Option<Box<QueryMigration>>),
+    Installed,
     Results(Vec<RankedDocument>),
     QueryStats(Option<ItaQueryStats>),
     IndexStats(IndexStats),
@@ -118,6 +157,29 @@ fn worker_loop(
                 stats.record(&outcome, start.elapsed());
                 ShardReply::Processed(outcome)
             }
+            ShardRequest::ProcessBatch(docs) => {
+                // One channel round-trip covers the whole burst; the worker
+                // still processes and times each event individually, so the
+                // outcomes and the per-worker stats are exactly the
+                // per-event loop's.
+                let outcomes = docs
+                    .iter()
+                    .map(|doc| {
+                        let start = Instant::now();
+                        let outcome = shard.process_shared(Arc::clone(doc));
+                        stats.record(&outcome, start.elapsed());
+                        outcome
+                    })
+                    .collect();
+                ShardReply::ProcessedBatch(outcomes)
+            }
+            ShardRequest::Extract(qid) => {
+                ShardReply::Extracted(shard.extract_query(qid).map(Box::new))
+            }
+            ShardRequest::Install(qid, migration) => {
+                shard.install_query(qid, *migration);
+                ShardReply::Installed
+            }
             ShardRequest::Results(qid) => ShardReply::Results(shard.current_results(qid)),
             ShardRequest::QueryStats(qid) => ShardReply::QueryStats(shard.query_stats(qid)),
             ShardRequest::IndexStats => ShardReply::IndexStats(shard.index_stats()),
@@ -137,11 +199,63 @@ fn worker_loop(
     }
 }
 
+/// Policy of the coordinator's skew-aware query rebalancer.
+///
+/// The coordinator evaluates balance whenever the load distribution can have
+/// changed and a migration is safe — after a registration, after a
+/// deregistration and after each processed batch, never inside an event —
+/// and migrates queries from the heaviest to the lightest shard while
+/// **both** hold:
+///
+/// * the heaviest shard's query count exceeds
+///   `max_over_ideal × (num_queries / shards)` (the uniform share), and
+/// * moving one query actually reduces imbalance
+///   (`heaviest − lightest ≥ 2`).
+///
+/// Each migration strictly decreases the load distribution's sum of squares,
+/// so a rebalance pass always terminates; `max_migrations_per_check` is a
+/// safety valve bounding how much migration cost (state transfer plus
+/// shadow-list backfill over the window) a single boundary may absorb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Whether the rebalancer runs at all. Disabled, placement is the
+    /// static hash of [`ShardedItaEngine::shard_of`] forever.
+    pub enabled: bool,
+    /// Trigger ratio over the uniform per-shard query count. Must be at
+    /// least 1; values close to 1 level aggressively, larger values tolerate
+    /// more skew before paying migration cost.
+    pub max_over_ideal: f64,
+    /// Upper bound on migrations performed per balance check.
+    pub max_migrations_per_check: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_over_ideal: 1.25,
+            max_migrations_per_check: usize::MAX,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// A configuration with rebalancing switched off (static hash
+    /// placement).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
 /// The paper's ITA, executed across `N` query-partitioned worker shards.
 ///
 /// Implements [`Engine`] with results and event outcomes byte-identical to
 /// the single-shard [`ItaEngine`] over any stream. See the module docs for
-/// the partitioning rule, the fan-out protocol and the exactness argument.
+/// the partitioning rule, the fan-out and batch protocols, the skew-aware
+/// rebalancer and the exactness argument.
 #[derive(Debug)]
 pub struct ShardedItaEngine {
     /// Coordinator → shard request channels (SPSC: this engine is the only
@@ -153,6 +267,16 @@ pub struct ShardedItaEngine {
     supervisor: Option<JoinHandle<()>>,
     window: SlidingWindow,
     config: ItaConfig,
+    rebalance: RebalanceConfig,
+    /// The routing table: which shard currently hosts each registered query.
+    /// Starts as the hash placement of [`ShardedItaEngine::shard_of`];
+    /// migrations move entries.
+    assignment: HashMap<QueryId, usize>,
+    /// Per-shard resident query ids (registration order). `placement[s].len()`
+    /// is shard `s`'s query load.
+    placement: Vec<Vec<QueryId>>,
+    /// Total queries migrated by the rebalancer since construction.
+    migrations: u64,
     num_queries: usize,
     next_query: u32,
     clock: Timestamp,
@@ -161,13 +285,31 @@ pub struct ShardedItaEngine {
 impl ShardedItaEngine {
     /// Creates an engine with `shards` persistent worker shards, each
     /// running a term-filtered [`ItaEngine`] under the given window policy
-    /// and configuration.
+    /// and configuration, with the default [`RebalanceConfig`].
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
     pub fn new(window: SlidingWindow, config: ItaConfig, shards: usize) -> Self {
+        Self::with_rebalance(window, config, shards, RebalanceConfig::default())
+    }
+
+    /// Creates an engine with an explicit rebalancing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `rebalance.max_over_ideal < 1`.
+    pub fn with_rebalance(
+        window: SlidingWindow,
+        config: ItaConfig,
+        shards: usize,
+        rebalance: RebalanceConfig,
+    ) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
+        assert!(
+            rebalance.max_over_ideal >= 1.0,
+            "a rebalance trigger below the uniform share would thrash"
+        );
         let mut requests = Vec::with_capacity(shards);
         let mut replies = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -204,6 +346,10 @@ impl ShardedItaEngine {
             supervisor: Some(supervisor),
             window,
             config,
+            rebalance,
+            assignment: HashMap::new(),
+            placement: vec![Vec::new(); shards],
+            migrations: 0,
             num_queries: 0,
             next_query: 0,
             clock: Timestamp::ZERO,
@@ -225,14 +371,56 @@ impl ShardedItaEngine {
         self.config
     }
 
-    /// The partitioning rule: which shard owns `query`. Fibonacci-hashing
-    /// the id spreads both sequential registration order and arbitrary
-    /// (churned) id sets evenly across shards, and stays stable for a given
-    /// id across deregistrations. The shard is taken from the hash's **high**
-    /// bits via a multiply-shift — `hash % N` would keep only the low bits,
-    /// which for power-of-two `N` degenerate to a permutation of the id's own
-    /// low bits (an all-even surviving id set would then occupy only half
-    /// the shards).
+    /// The configured rebalancing policy.
+    pub fn rebalance_config(&self) -> RebalanceConfig {
+        self.rebalance
+    }
+
+    /// Replaces the rebalancing policy at runtime. Takes effect at the next
+    /// balance check (the next registration, deregistration or batch
+    /// boundary) — an already-skewed placement is repaired then, not
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rebalance.max_over_ideal < 1`.
+    pub fn set_rebalance_config(&mut self, rebalance: RebalanceConfig) {
+        assert!(
+            rebalance.max_over_ideal >= 1.0,
+            "a rebalance trigger below the uniform share would thrash"
+        );
+        self.rebalance = rebalance;
+    }
+
+    /// Total queries the rebalancer has migrated between shards.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Per-shard resident query counts, in shard order — the load measure
+    /// the rebalancer levels.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.placement.iter().map(Vec::len).collect()
+    }
+
+    /// The shard currently hosting `query`, if it is registered. This is the
+    /// routing table every query-addressed request consults; it starts at
+    /// the hash placement of [`ShardedItaEngine::shard_of`] and diverges
+    /// from it once the rebalancer migrates the query.
+    pub fn assigned_shard(&self, query: QueryId) -> Option<usize> {
+        self.assignment.get(&query).copied()
+    }
+
+    /// The **initial placement** rule: which shard a freshly registered
+    /// `query` is routed to (the rebalancer may move it later —
+    /// [`ShardedItaEngine::assigned_shard`] is the live routing table).
+    /// Fibonacci-hashing the id spreads both sequential registration order
+    /// and arbitrary (churned) id sets evenly across shards, and stays
+    /// stable for a given id across deregistrations. The shard is taken from
+    /// the hash's **high** bits via a multiply-shift — `hash % N` would keep
+    /// only the low bits, which for power-of-two `N` degenerate to a
+    /// permutation of the id's own low bits (an all-even surviving id set
+    /// would then occupy only half the shards).
     pub fn shard_of(&self, query: QueryId) -> usize {
         let hashed = (u64::from(query.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((u128::from(hashed) * self.requests.len() as u128) >> 64) as usize
@@ -254,9 +442,10 @@ impl ShardedItaEngine {
     }
 
     /// A query's ITA bookkeeping snapshot, if it is registered (served by
-    /// the owning shard).
+    /// the shard currently hosting it).
     pub fn query_stats(&self, query: QueryId) -> Option<ItaQueryStats> {
-        match self.call(self.shard_of(query), ShardRequest::QueryStats(query)) {
+        let shard = self.assigned_shard(query)?;
+        match self.call(shard, ShardRequest::QueryStats(query)) {
             ShardReply::QueryStats(stats) => stats,
             _ => unreachable!("shard replied out of order"),
         }
@@ -335,29 +524,104 @@ impl ShardedItaEngine {
             })
             .collect()
     }
+
+    /// Runs one balance check (see [`RebalanceConfig`]): while the heaviest
+    /// shard exceeds the trigger ratio over the uniform share **and** a
+    /// migration reduces imbalance, move the heaviest shard's most recently
+    /// placed query to the lightest shard. Called at load-change and batch
+    /// boundaries only — never between an arrival and its expirations — so
+    /// migration can never split an event.
+    fn maybe_rebalance(&mut self) {
+        if !self.rebalance.enabled || self.requests.len() < 2 {
+            return;
+        }
+        let ideal = self.num_queries as f64 / self.requests.len() as f64;
+        let trigger = self.rebalance.max_over_ideal * ideal;
+        for _ in 0..self.rebalance.max_migrations_per_check {
+            let (heavy, _) = self
+                .placement
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, resident)| resident.len())
+                .expect("at least one shard");
+            let (light, _) = self
+                .placement
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, resident)| resident.len())
+                .expect("at least one shard");
+            let (high, low) = (self.placement[heavy].len(), self.placement[light].len());
+            if (high as f64) <= trigger || high - low < 2 {
+                break;
+            }
+            let slot = self.placement[heavy].len() - 1;
+            self.migrate(heavy, slot, light);
+        }
+    }
+
+    /// Moves the complete ITA state of the query at `placement[from][slot]`
+    /// to shard `to` (extract, install, reroute). Outcome-neutral by
+    /// construction: the migrated thresholds and result set are installed
+    /// verbatim and the receiving shadow index backfills any term that just
+    /// became live, so every subsequent event is processed exactly as it
+    /// would have been on the old shard.
+    fn migrate(&mut self, from: usize, slot: usize, to: usize) {
+        let qid = self.placement[from][slot];
+        let migration = match self.call(from, ShardRequest::Extract(qid)) {
+            ShardReply::Extracted(Some(migration)) => migration,
+            ShardReply::Extracted(None) => {
+                panic!("rebalance: shard {from} does not host {qid} (routing table corrupt)")
+            }
+            _ => unreachable!("shard replied out of order"),
+        };
+        match self.call(to, ShardRequest::Install(qid, migration)) {
+            ShardReply::Installed => {}
+            _ => unreachable!("shard replied out of order"),
+        }
+        self.placement[from].swap_remove(slot);
+        self.placement[to].push(qid);
+        self.assignment.insert(qid, to);
+        self.migrations += 1;
+    }
 }
 
 impl Engine for ShardedItaEngine {
     fn register(&mut self, query: ContinuousQuery) -> QueryId {
         let qid = QueryId(self.next_query);
         self.next_query += 1;
-        match self.call(self.shard_of(qid), ShardRequest::Register(qid, query)) {
+        let shard = self.shard_of(qid);
+        match self.call(shard, ShardRequest::Register(qid, query)) {
             ShardReply::Registered => {}
             _ => unreachable!("shard replied out of order"),
         }
+        self.assignment.insert(qid, shard);
+        self.placement[shard].push(qid);
         self.num_queries += 1;
+        self.maybe_rebalance();
         qid
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
-        let removed = match self.call(self.shard_of(query), ShardRequest::Deregister(query)) {
+        let Some(shard) = self.assigned_shard(query) else {
+            return false;
+        };
+        let removed = match self.call(shard, ShardRequest::Deregister(query)) {
             ShardReply::Deregistered(removed) => removed,
             _ => unreachable!("shard replied out of order"),
         };
-        if removed {
-            self.num_queries -= 1;
-        }
-        removed
+        assert!(
+            removed,
+            "routing table said shard {shard} hosts {query}, shard disagreed"
+        );
+        self.assignment.remove(&query);
+        let at = self.placement[shard]
+            .iter()
+            .position(|&resident| resident == query)
+            .expect("routing table lists the query on its shard");
+        self.placement[shard].swap_remove(at);
+        self.num_queries -= 1;
+        self.maybe_rebalance();
+        true
     }
 
     fn process_document(&mut self, doc: Document) -> EventOutcome {
@@ -377,8 +641,39 @@ impl Engine for ShardedItaEngine {
         merged
     }
 
+    fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        self.clock = docs.last().expect("batch is non-empty").arrival;
+        let docs: Arc<[Arc<Document>]> = docs.into_iter().map(Arc::new).collect();
+        let per_shard = self.broadcast_collect(
+            || ShardRequest::ProcessBatch(Arc::clone(&docs)),
+            |reply| match reply {
+                ShardReply::ProcessedBatch(outcomes) => outcomes,
+                _ => unreachable!("shard replied out of order"),
+            },
+        );
+        let mut per_shard = per_shard.into_iter();
+        let mut merged = per_shard.next().expect("at least one shard");
+        for outcomes in per_shard {
+            debug_assert_eq!(outcomes.len(), merged.len(), "shards saw different batches");
+            for (into, outcome) in merged.iter_mut().zip(&outcomes) {
+                into.merge_shard(outcome);
+            }
+        }
+        // The batch boundary is a safe point to repair skew: no event is in
+        // flight, so a migration cannot split an arrival from its
+        // expirations.
+        self.maybe_rebalance();
+        merged
+    }
+
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
-        match self.call(self.shard_of(query), ShardRequest::Results(query)) {
+        let Some(shard) = self.assigned_shard(query) else {
+            return Vec::new();
+        };
+        match self.call(shard, ShardRequest::Results(query)) {
             ShardReply::Results(results) => results,
             _ => unreachable!("shard replied out of order"),
         }
@@ -556,9 +851,139 @@ mod tests {
     }
 
     #[test]
+    fn process_batch_matches_the_per_event_loop() {
+        let window = SlidingWindow::count_based(10);
+        let mut singles = ShardedItaEngine::new(window, ItaConfig::default(), 3);
+        let mut batched = ShardedItaEngine::new(window, ItaConfig::default(), 3);
+        let mut qids = Vec::new();
+        for t in 0..6u32 {
+            let q = query(&[(t, 0.5), (6 + t % 2, 0.5)], 2);
+            let qa = singles.register(q.clone());
+            let qb = batched.register(q);
+            assert_eq!(qa, qb);
+            qids.push(qa);
+        }
+        let make = |lo: u64, hi: u64| -> Vec<Document> {
+            (lo..hi)
+                .map(|i| doc(i, &[((i % 8) as u32, 0.1 + (i % 5) as f64 * 0.15)]))
+                .collect()
+        };
+        for chunk in [(0u64, 7u64), (7, 8), (8, 20), (20, 33)] {
+            let batch = make(chunk.0, chunk.1);
+            let expected: Vec<EventOutcome> = batch
+                .clone()
+                .into_iter()
+                .map(|d| singles.process_document(d))
+                .collect();
+            let actual = batched.process_batch(batch);
+            assert_eq!(expected, actual, "chunk {chunk:?} diverged");
+            for &q in &qids {
+                assert_eq!(singles.current_results(q), batched.current_results(q));
+            }
+        }
+        assert_eq!(batched.clock(), singles.clock());
+        assert!(batched.process_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn rebalancer_levels_an_engineered_skew() {
+        let window = SlidingWindow::count_based(12);
+        let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), 4);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let mut qids = Vec::new();
+        for t in 0..24u32 {
+            let q = query(&[(t % 7, 0.6), (7 + t % 5, 0.4)], 2);
+            qids.push(sharded.register(q.clone()));
+            reference.register(q);
+        }
+        for i in 0..30u64 {
+            let d = doc(i, &[((i % 12) as u32, 0.1 + (i % 6) as f64 * 0.12)]);
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &qids);
+        }
+        // Concentrate the surviving population on the initial-hash shard 0,
+        // then make sure the rebalancer spread it back out.
+        let survivors: Vec<QueryId> = qids
+            .iter()
+            .copied()
+            .filter(|&q| sharded.shard_of(q) == 0)
+            .collect();
+        assert!(survivors.len() >= 2, "need at least two survivors");
+        for &q in &qids {
+            if !survivors.contains(&q) {
+                assert!(sharded.deregister(q));
+                assert!(reference.deregister(q));
+            }
+        }
+        assert!(sharded.migrations() > 0, "no migration happened");
+        let loads = sharded.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), survivors.len());
+        let uniform = survivors.len() as f64 / 4.0;
+        assert!(
+            *loads.iter().max().unwrap() as f64 <= (2.0 * uniform).max(1.0),
+            "loads {loads:?} not within 2x of uniform {uniform}"
+        );
+        // Routing follows the migrations: some survivor no longer lives on
+        // its hash shard, yet every survivor is still routable.
+        assert!(survivors
+            .iter()
+            .any(|&q| sharded.assigned_shard(q) != Some(0)));
+        assert!(survivors
+            .iter()
+            .all(|&q| sharded.assigned_shard(q).is_some()));
+        for i in 30..60u64 {
+            let d = doc(i, &[((i % 12) as u32, 0.2 + (i % 4) as f64 * 0.2)]);
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &survivors);
+        }
+    }
+
+    #[test]
+    fn disabled_rebalancer_keeps_the_static_hash_placement() {
+        let window = SlidingWindow::count_based(8);
+        let mut sharded = ShardedItaEngine::with_rebalance(
+            window,
+            ItaConfig::default(),
+            4,
+            RebalanceConfig::disabled(),
+        );
+        assert!(!sharded.rebalance_config().enabled);
+        let qids: Vec<QueryId> = (0..16u32)
+            .map(|t| sharded.register(query(&[(t % 5, 1.0)], 1)))
+            .collect();
+        let survivors: Vec<QueryId> = qids
+            .iter()
+            .copied()
+            .filter(|&q| sharded.shard_of(q) == 0)
+            .collect();
+        for &q in &qids {
+            if !survivors.contains(&q) {
+                assert!(sharded.deregister(q));
+            }
+        }
+        assert_eq!(sharded.migrations(), 0);
+        for &q in &survivors {
+            assert_eq!(sharded.assigned_shard(q), Some(0));
+        }
+        assert_eq!(sharded.shard_loads()[0], survivors.len());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         let _ = ShardedItaEngine::new(SlidingWindow::count_based(4), ItaConfig::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "would thrash")]
+    fn sub_uniform_rebalance_trigger_is_rejected() {
+        let _ = ShardedItaEngine::with_rebalance(
+            SlidingWindow::count_based(4),
+            ItaConfig::default(),
+            2,
+            RebalanceConfig {
+                max_over_ideal: 0.5,
+                ..RebalanceConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -1,0 +1,735 @@
+//! Reusable randomized differential-test machinery.
+//!
+//! Every differential suite in this repository follows the same shape: a
+//! seeded source of adversarial randomness, an interleaved script of
+//! operations (query registration/deregistration, single stream events,
+//! whole bursts) applied in lockstep to several engines, equality asserted
+//! after every step, and — on failure — output that lets a human reproduce
+//! and understand the divergence. Before this module, that machinery was
+//! re-implemented in `tests/sharded_equivalence.rs`,
+//! `tests/paper_scale_soak.rs` and `cts-index`'s
+//! `tests/differential_impact_list.rs`; now they all share it:
+//!
+//! * [`ScriptRng`] — a tiny deterministic SplitMix64 generator, so scripts
+//!   are reproducible from a single `u64` seed with no external dependency
+//!   (the suites in other crates reuse it too).
+//! * [`Op`] / [`OpScript`] / [`generate_script`] — a concrete, printable op
+//!   script: register/deregister/feed/feed-batch with tie-heavy documents
+//!   and arbitrary arrival gaps (a gap of zero produces equal timestamps,
+//!   the time-window edge case). Scripts either come out of the seeded
+//!   generator or are assembled by hand/by a corpus stream
+//!   ([`OpScript::push`]) — the paper-scale soak builds its script from the
+//!   synthetic WSJ stream and runs it through the same runner.
+//! * [`run_script`] — the lockstep runner over `N` boxed [`Engine`]s:
+//!   engine 0 is the reference; every op must produce identical query-id
+//!   assignment, identical [`crate::EventOutcome`]s (optional, for engines
+//!   with identical accounting, e.g. ITA vs sharded ITA) and identical
+//!   top-k on every (sampled) live query. Failures are returned as data,
+//!   not panics, so the minimizer can re-run candidate scripts.
+//! * [`assert_script_equivalence`] — the test-facing entry point: generate,
+//!   run, and on divergence shrink the script with [`minimize_script`]
+//!   (greedy delta debugging over fresh engines) and panic with the **seed**
+//!   and the **minimized script** — small enough to read, sufficient to
+//!   replay.
+
+use std::fmt;
+
+use cts_index::{DocId, Document, QueryId, Timestamp};
+use cts_text::{TermId, WeightedVector};
+
+use crate::engine::Engine;
+use crate::query::ContinuousQuery;
+use crate::validate::{results_match, DEFAULT_TOLERANCE};
+
+/// A tiny deterministic pseudo-random generator (SplitMix64) for building
+/// reproducible op scripts from a single `u64` seed.
+///
+/// Deliberately not `rand`: the testkit ships in the library crate (so
+/// other crates' test suites can reuse it) and a 10-line generator keeps it
+/// dependency-free while remaining statistically fine for fuzzing-style
+/// interleavings.
+#[derive(Debug, Clone)]
+pub struct ScriptRng {
+    state: u64,
+}
+
+impl ScriptRng {
+    /// Creates a generator for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift keeps the draw uniform enough for test scripts
+        // without a rejection loop.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniform pick from `values`.
+    pub fn pick<'a, T>(&mut self, values: &'a [T]) -> &'a T {
+        &values[self.below(values.len())]
+    }
+}
+
+/// One operation of a differential script.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Register this query on every engine (ids must come out identical).
+    Register(ContinuousQuery),
+    /// Deregister the live query at `victim % live.len()` (skipped while no
+    /// query is live). Indexing into the live list instead of naming a
+    /// `QueryId` keeps scripts valid under minimization: removing an earlier
+    /// `Register` re-targets, never invalidates, later deregistrations.
+    Deregister {
+        /// Pseudo-index into the live-query list.
+        victim: usize,
+    },
+    /// Feed one stream event through [`Engine::process_document`].
+    Feed(Document),
+    /// Feed a whole burst through [`Engine::process_batch`].
+    FeedBatch(Vec<Document>),
+}
+
+fn write_composition(f: &mut fmt::Formatter<'_>, composition: &WeightedVector) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, entry) in composition.as_slice().iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}:{}", entry.term, entry.weight)?;
+    }
+    write!(f, "}}")
+}
+
+fn write_doc(f: &mut fmt::Formatter<'_>, doc: &Document) -> fmt::Result {
+    write!(f, "{} @{}us ", doc.id, doc.arrival.as_micros())?;
+    write_composition(f, &doc.composition)
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Register(query) => {
+                write!(f, "register k={} ", query.k())?;
+                write_composition(f, query.weights())
+            }
+            Op::Deregister { victim } => write!(f, "deregister victim%{victim}"),
+            Op::Feed(doc) => {
+                write!(f, "feed ")?;
+                write_doc(f, doc)
+            }
+            Op::FeedBatch(docs) => {
+                write!(f, "feed_batch x{}:", docs.len())?;
+                for doc in docs {
+                    write!(f, "\n    ")?;
+                    write_doc(f, doc)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A reproducible differential script: the seed it came from (0 for
+/// hand-built scripts) and the concrete operations. Ops carry fully
+/// materialised documents and queries, so replaying a (possibly minimized)
+/// script never depends on regenerating the same randomness.
+#[derive(Debug, Clone, Default)]
+pub struct OpScript {
+    /// The generator seed, echoed in failure output.
+    pub seed: u64,
+    /// The operations, applied in order.
+    pub ops: Vec<Op>,
+}
+
+impl OpScript {
+    /// An empty script tagged with `seed` (use 0 for hand-built scripts).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an operation (builder for corpus-driven or hand-built
+    /// scripts).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of stream events the script feeds (counting batch members).
+    pub fn num_events(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Feed(_) => 1,
+                Op::FeedBatch(docs) => docs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for OpScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# seed {:#x}, {} ops", self.seed, self.ops.len())?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "  [{i}] {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shape of the scripts [`generate_script`] produces. The defaults mirror
+/// the adversarial stream the sharded-equivalence suite has used since PR 4:
+/// a small vocabulary and a discrete weight palette force long tie runs and
+/// dense term sharing, so backfill, list retirement, refill and roll-up all
+/// fire constantly.
+#[derive(Debug, Clone)]
+pub struct ScriptConfig {
+    /// Vocabulary size for documents and queries.
+    pub vocabulary: u32,
+    /// The discrete weight palette documents draw from (ties on purpose).
+    pub palette: Vec<f64>,
+    /// Queries registered before the first stream event.
+    pub initial_queries: usize,
+    /// Stream events to generate (single feeds plus batch members).
+    pub events: usize,
+    /// Per-op probability of registering another query mid-stream.
+    pub register_probability: f64,
+    /// Per-op probability of deregistering a live query mid-stream.
+    pub deregister_probability: f64,
+    /// Probability that a chunk of events ships as one [`Op::FeedBatch`].
+    pub batch_probability: f64,
+    /// Largest batch generated (at least 2 when batching is enabled).
+    pub max_batch: usize,
+    /// Maximum arrival gap between consecutive documents, in milliseconds;
+    /// gaps draw uniformly from `[0, max]`, so **equal timestamps occur**
+    /// whenever this is positive and routinely when it is small.
+    pub max_gap_millis: usize,
+    /// Terms per query draw from `[1, max_query_terms]`.
+    pub max_query_terms: usize,
+    /// `k` draws from `[1, max_k]`.
+    pub max_k: usize,
+    /// Terms per document draw from `[1, max_doc_terms]`.
+    pub max_doc_terms: usize,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> Self {
+        Self {
+            vocabulary: 24,
+            palette: vec![0.1, 0.2, 0.2, 0.4, 0.7],
+            initial_queries: 3,
+            events: 320,
+            register_probability: 0.10,
+            deregister_probability: 0.05,
+            batch_probability: 0.0,
+            max_batch: 16,
+            max_gap_millis: 4,
+            max_query_terms: 3,
+            max_k: 3,
+            max_doc_terms: 5,
+        }
+    }
+}
+
+impl ScriptConfig {
+    /// The default shape with batches mixed in: roughly
+    /// `batch_probability` of the stream ships as bursts of up to
+    /// `max_batch` events.
+    pub fn batched() -> Self {
+        Self {
+            batch_probability: 0.5,
+            ..Self::default()
+        }
+    }
+}
+
+fn random_query(rng: &mut ScriptRng, config: &ScriptConfig) -> ContinuousQuery {
+    let terms = rng.range(1, config.max_query_terms + 1);
+    let weights: Vec<(TermId, f64)> = (0..terms)
+        .map(|_| {
+            (
+                TermId(rng.below(config.vocabulary as usize) as u32),
+                0.1 + rng.below(8) as f64 * 0.1,
+            )
+        })
+        .collect();
+    ContinuousQuery::from_weights(weights, rng.range(1, config.max_k + 1))
+}
+
+fn random_document(
+    rng: &mut ScriptRng,
+    config: &ScriptConfig,
+    id: u64,
+    arrival: Timestamp,
+) -> Document {
+    let terms = rng.range(1, config.max_doc_terms + 1);
+    let weights = (0..terms).map(|_| {
+        (
+            TermId(rng.below(config.vocabulary as usize) as u32),
+            *rng.pick(&config.palette),
+        )
+    });
+    Document::new(DocId(id), arrival, WeightedVector::from_weights(weights))
+}
+
+/// Generates a reproducible script for `config` from `seed`.
+pub fn generate_script(config: &ScriptConfig, seed: u64) -> OpScript {
+    let mut rng = ScriptRng::new(seed);
+    let mut script = OpScript::new(seed);
+    for _ in 0..config.initial_queries {
+        script.push(Op::Register(random_query(&mut rng, config)));
+    }
+    let mut clock = Timestamp::ZERO;
+    let mut next_doc = 0u64;
+    let mut emitted = 0usize;
+    let mut next_document = |rng: &mut ScriptRng| {
+        clock = clock.advance(std::time::Duration::from_millis(
+            rng.below(config.max_gap_millis + 1) as u64,
+        ));
+        let doc = random_document(rng, config, next_doc, clock);
+        next_doc += 1;
+        doc
+    };
+    while emitted < config.events {
+        if rng.chance(config.register_probability) {
+            script.push(Op::Register(random_query(&mut rng, config)));
+        }
+        if rng.chance(config.deregister_probability) {
+            script.push(Op::Deregister {
+                victim: rng.below(64),
+            });
+        }
+        if rng.chance(config.batch_probability) {
+            let size = rng
+                .range(2, config.max_batch.max(2) + 1)
+                .min(config.events - emitted)
+                .max(1);
+            let docs: Vec<Document> = (0..size).map(|_| next_document(&mut rng)).collect();
+            emitted += docs.len();
+            script.push(Op::FeedBatch(docs));
+        } else {
+            script.push(Op::Feed(next_document(&mut rng)));
+            emitted += 1;
+        }
+    }
+    script
+}
+
+/// Knobs of [`run_script`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Compare per-event [`crate::EventOutcome`]s across engines. Enable
+    /// for engines with identical work accounting (ITA vs sharded ITA;
+    /// batch vs singles); disable when comparing engines that count work
+    /// differently (ITA vs the naïve baseline).
+    pub compare_outcomes: bool,
+    /// Compare live-query results every `check_every`-th feed op (outcome
+    /// checks, when enabled, still run on every op). 1 = every feed.
+    pub check_every: usize,
+    /// Compare every `sample_stride`-th live query at a checkpoint (always
+    /// including the first). 1 = all live queries — paper-scale scripts use
+    /// a larger stride to keep checkpoints affordable.
+    pub sample_stride: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            compare_outcomes: true,
+            check_every: 1,
+            sample_stride: 1,
+        }
+    }
+}
+
+/// A divergence found by [`run_script`]: which op tripped it and what
+/// disagreed. Carried as data (not a panic) so minimization can re-run
+/// candidate scripts cheaply.
+#[derive(Debug, Clone)]
+pub struct ScriptFailure {
+    /// Index into [`OpScript::ops`] of the offending operation.
+    pub op_index: usize,
+    /// Human-readable description of the disagreement.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op [{}]: {}", self.op_index, self.message)
+    }
+}
+
+fn check_results<'e>(
+    engines: &[Box<dyn Engine + 'e>],
+    live: &[QueryId],
+    stride: usize,
+    op_index: usize,
+) -> Result<(), ScriptFailure> {
+    for &query in live.iter().step_by(stride.max(1)) {
+        let expected = engines[0].current_results(query);
+        for candidate in &engines[1..] {
+            let actual = candidate.current_results(query);
+            if !results_match(&expected, &actual, DEFAULT_TOLERANCE) {
+                return Err(ScriptFailure {
+                    op_index,
+                    message: format!(
+                        "{} on {}: {} reports {:?}, {} reports {:?}",
+                        "results diverged",
+                        query,
+                        engines[0].name(),
+                        expected,
+                        candidate.name(),
+                        actual
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies `script` to every engine in lockstep (engine 0 is the
+/// reference), returning the first divergence: query-id assignment,
+/// deregistration success, per-event/batch outcomes (when
+/// `options.compare_outcomes`) and (sampled) live-query results must all
+/// agree. The engines must share a window policy; the runner does not
+/// construct engines — pair it with a factory closure for minimization (see
+/// [`assert_script_equivalence`]). To keep ownership of concrete engines
+/// for post-run assertions (index stats, migration counters), box mutable
+/// references instead — `&mut E` is itself an [`Engine`]:
+/// `vec![Box::new(&mut reference) as Box<dyn Engine + '_>, ...]`.
+pub fn run_script<'e>(
+    engines: &mut [Box<dyn Engine + 'e>],
+    script: &OpScript,
+    options: &RunOptions,
+) -> Result<(), ScriptFailure> {
+    assert!(
+        engines.len() >= 2,
+        "a differential run needs a reference and at least one candidate"
+    );
+    let mut live: Vec<QueryId> = Vec::new();
+    let mut feeds = 0usize;
+    for (op_index, op) in script.ops.iter().enumerate() {
+        let fail = |message: String| ScriptFailure { op_index, message };
+        match op {
+            Op::Register(query) => {
+                let expected = engines[0].register(query.clone());
+                for candidate in &mut engines[1..] {
+                    let actual = candidate.register(query.clone());
+                    if actual != expected {
+                        return Err(fail(format!(
+                            "query ids diverged: reference assigned {expected}, {} assigned {actual}",
+                            candidate.name()
+                        )));
+                    }
+                }
+                live.push(expected);
+            }
+            Op::Deregister { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let target = live.swap_remove(victim % live.len());
+                for engine in engines.iter_mut() {
+                    if !engine.deregister(target) {
+                        return Err(fail(format!("{} lost {target}", engine.name())));
+                    }
+                }
+            }
+            Op::Feed(doc) => {
+                feeds += 1;
+                let expected = engines[0].process_document(doc.clone());
+                for candidate in &mut engines[1..] {
+                    let actual = candidate.process_document(doc.clone());
+                    if options.compare_outcomes && actual != expected {
+                        return Err(fail(format!(
+                            "outcomes diverged on {}: reference {expected:?}, {} {actual:?}",
+                            doc.id,
+                            candidate.name()
+                        )));
+                    }
+                }
+            }
+            Op::FeedBatch(docs) => {
+                feeds += 1;
+                let expected = engines[0].process_batch(docs.clone());
+                for candidate in &mut engines[1..] {
+                    let actual = candidate.process_batch(docs.clone());
+                    if options.compare_outcomes && actual != expected {
+                        let at = expected
+                            .iter()
+                            .zip(&actual)
+                            .position(|(a, b)| a != b)
+                            .map_or("length".to_string(), |i| format!("member {i}"));
+                        return Err(fail(format!(
+                            "batch outcomes diverged at {at}: reference {expected:?}, {} {actual:?}",
+                            candidate.name()
+                        )));
+                    }
+                }
+            }
+        }
+        let feed_op = matches!(op, Op::Feed(_) | Op::FeedBatch(_));
+        if feed_op && feeds.is_multiple_of(options.check_every.max(1)) {
+            check_results(engines, &live, options.sample_stride, op_index)?;
+            let expected = engines[0].num_valid_documents();
+            for candidate in &engines[1..] {
+                let actual = candidate.num_valid_documents();
+                if actual != expected {
+                    return Err(fail(format!(
+                        "window sizes diverged: reference {expected}, {} {actual}",
+                        candidate.name()
+                    )));
+                }
+            }
+        }
+    }
+    // Final checkpoint regardless of stride/cadence.
+    check_results(engines, &live, 1, script.ops.len().saturating_sub(1))
+}
+
+/// Shrinks a failing script by greedy delta debugging: repeatedly re-runs
+/// candidate scripts (on fresh engines from `make_engines`) with chunks of
+/// ops removed, keeping any removal that still fails, halving the chunk
+/// size until single ops cannot be removed — or `budget` re-runs have been
+/// spent. The result still fails; it is what
+/// [`assert_script_equivalence`] prints.
+pub fn minimize_script(
+    make_engines: &dyn Fn() -> Vec<Box<dyn Engine>>,
+    script: &OpScript,
+    options: &RunOptions,
+    budget: usize,
+) -> OpScript {
+    let still_fails = |ops: &[Op], spent: &mut usize| -> bool {
+        *spent += 1;
+        let candidate = OpScript {
+            seed: script.seed,
+            ops: ops.to_vec(),
+        };
+        run_script(&mut make_engines(), &candidate, options).is_err()
+    };
+    let mut ops = script.ops.clone();
+    let mut spent = 0usize;
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut at = 0;
+        while at < ops.len() && spent < budget {
+            let end = (at + chunk).min(ops.len());
+            let candidate: Vec<Op> = ops[..at].iter().chain(&ops[end..]).cloned().collect();
+            if !candidate.is_empty() && still_fails(&candidate, &mut spent) {
+                ops = candidate;
+                removed_any = true;
+                // Re-scan from the same offset: the tail shifted left.
+            } else {
+                at = end;
+            }
+        }
+        if spent >= budget || (!removed_any && chunk == 1) {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    OpScript {
+        seed: script.seed,
+        ops,
+    }
+}
+
+/// Generates a script for `(config, seed)`, runs it over the engines from
+/// `make_engines`, and on divergence panics with the **seed** and a
+/// **minimized** reproduction script. This is the entry point the
+/// differential suites call in a loop over seeds/shard counts.
+pub fn assert_script_equivalence(
+    make_engines: &dyn Fn() -> Vec<Box<dyn Engine>>,
+    config: &ScriptConfig,
+    seed: u64,
+) {
+    let script = generate_script(config, seed);
+    assert_script_runs(make_engines, &script, &RunOptions::default());
+}
+
+/// Runs an existing script (generated or hand-/corpus-built) over fresh
+/// engines, panicking with seed + minimized script on divergence.
+pub fn assert_script_runs(
+    make_engines: &dyn Fn() -> Vec<Box<dyn Engine>>,
+    script: &OpScript,
+    options: &RunOptions,
+) {
+    if let Err(failure) = run_script(&mut make_engines(), script, options) {
+        let minimized = minimize_script(make_engines, script, options, 256);
+        panic!(
+            "testkit: engines diverged (seed {:#x})\n  {failure}\n\
+             minimized reproduction ({} of {} ops):\n{minimized}",
+            script.seed,
+            minimized.ops.len(),
+            script.ops.len(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ita::{ItaConfig, ItaEngine};
+    use crate::sharded::ShardedItaEngine;
+    use cts_index::SlidingWindow;
+
+    #[test]
+    fn script_rng_is_deterministic_and_in_range() {
+        let mut a = ScriptRng::new(42);
+        let mut b = ScriptRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = ScriptRng::new(7);
+        for _ in 0..200 {
+            let v = rng.range(3, 9);
+            assert!((3..9).contains(&v));
+            assert!(rng.below(1) == 0);
+        }
+        // Different seeds diverge immediately.
+        assert_ne!(ScriptRng::new(1).next_u64(), ScriptRng::new(2).next_u64());
+        let heads = (0..1000).filter(|_| rng.chance(0.5)).count();
+        assert!((300..700).contains(&heads), "biased coin: {heads}/1000");
+    }
+
+    #[test]
+    fn generated_scripts_are_reproducible_and_respect_the_config() {
+        let config = ScriptConfig {
+            events: 50,
+            batch_probability: 0.4,
+            ..ScriptConfig::default()
+        };
+        let a = generate_script(&config, 0xABCD);
+        let b = generate_script(&config, 0xABCD);
+        assert_eq!(a.ops.len(), b.ops.len());
+        assert_eq!(a.num_events(), 50);
+        assert!(a.ops.iter().any(|op| matches!(op, Op::FeedBatch(_))));
+        assert!(a
+            .ops
+            .iter()
+            .take(config.initial_queries)
+            .all(|op| matches!(op, Op::Register(_))));
+        // Rendering mentions the seed and every op index.
+        let rendered = a.to_string();
+        assert!(rendered.contains("seed 0xabcd"), "{rendered}");
+        assert!(rendered.contains(&format!("[{}]", a.ops.len() - 1)));
+    }
+
+    fn engines(shards: usize) -> Vec<Box<dyn Engine>> {
+        let window = SlidingWindow::count_based(20);
+        vec![
+            Box::new(ItaEngine::new(window, ItaConfig::default())),
+            Box::new(ShardedItaEngine::new(window, ItaConfig::default(), shards)),
+        ]
+    }
+
+    #[test]
+    fn equivalent_engines_pass_a_batched_script() {
+        let config = ScriptConfig {
+            events: 120,
+            ..ScriptConfig::batched()
+        };
+        assert_script_equivalence(&|| engines(3), &config, 0x7E57_0001);
+    }
+
+    #[test]
+    fn divergence_is_caught_and_minimized() {
+        // A candidate with a *different window* diverges as soon as an
+        // expiration differs; the harness must catch it, and minimization
+        // must shrink the script while keeping it failing.
+        let make: &dyn Fn() -> Vec<Box<dyn Engine>> = &|| {
+            vec![
+                Box::new(ItaEngine::new(
+                    SlidingWindow::count_based(4),
+                    ItaConfig::default(),
+                )) as Box<dyn Engine>,
+                Box::new(ItaEngine::new(
+                    SlidingWindow::count_based(5),
+                    ItaConfig::default(),
+                )) as Box<dyn Engine>,
+            ]
+        };
+        let config = ScriptConfig {
+            events: 40,
+            ..ScriptConfig::default()
+        };
+        let script = generate_script(&config, 0x7E57_0002);
+        let failure =
+            run_script(&mut make(), &script, &RunOptions::default()).expect_err("must diverge");
+        assert!(failure.op_index < script.ops.len());
+        let minimized = minimize_script(make, &script, &RunOptions::default(), 256);
+        assert!(minimized.ops.len() < script.ops.len());
+        assert!(run_script(&mut make(), &minimized, &RunOptions::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "testkit: engines diverged")]
+    fn assert_script_equivalence_panics_with_the_seed() {
+        let make: &dyn Fn() -> Vec<Box<dyn Engine>> = &|| {
+            vec![
+                Box::new(ItaEngine::new(
+                    SlidingWindow::count_based(4),
+                    ItaConfig::default(),
+                )) as Box<dyn Engine>,
+                Box::new(ItaEngine::new(
+                    SlidingWindow::count_based(6),
+                    ItaConfig::default(),
+                )) as Box<dyn Engine>,
+            ]
+        };
+        assert_script_equivalence(&make, &ScriptConfig::default(), 0x7E57_0003);
+    }
+
+    #[test]
+    fn hand_built_scripts_run_through_the_same_runner() {
+        let mut script = OpScript::new(0);
+        script.push(Op::Register(ContinuousQuery::from_weights(
+            [(TermId(1), 1.0)],
+            2,
+        )));
+        for i in 0..6u64 {
+            let doc = Document::new(
+                DocId(i),
+                Timestamp::from_millis(i),
+                WeightedVector::from_weights([(TermId(1), 0.1 * (i % 3 + 1) as f64)]),
+            );
+            script.push(if i % 2 == 0 {
+                Op::Feed(doc)
+            } else {
+                Op::FeedBatch(vec![doc])
+            });
+        }
+        script.push(Op::Deregister { victim: 0 });
+        assert_eq!(script.num_events(), 6);
+        assert_script_runs(&|| engines(2), &script, &RunOptions::default());
+    }
+}

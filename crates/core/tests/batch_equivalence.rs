@@ -1,0 +1,185 @@
+//! Batch-vs-singles differential test: [`cts_core::Engine::process_batch`]
+//! must be **byte-identical** to the per-event loop on every engine, across
+//! shard counts {1, 2, 4, 8} — including deregistrations between batches
+//! and window expiries that fall mid-batch.
+//!
+//! Two angles, both driven by [`cts_core::testkit`]:
+//!
+//! * scripted: batched op scripts run over `[ItaEngine, ShardedItaEngine]`
+//!   pairs — the reference's `process_batch` is the default per-event loop,
+//!   the sharded engine's is the one-round-trip-per-shard fan-out, so any
+//!   batching shortcut that changes semantics diverges immediately;
+//! * flattened: the *same* sharded engine type processes the same stream
+//!   once through batches and once as singles, and the outcome sequences
+//!   and results must match element for element.
+
+use cts_core::testkit::{assert_script_equivalence, generate_script, Op, ScriptConfig};
+use cts_core::{Engine, EventOutcome, ItaConfig, ItaEngine, MonitoringServer, ShardedItaEngine};
+use cts_index::{DocId, Document, QueryId, SlidingWindow, Timestamp};
+use cts_text::{TermId, WeightedVector};
+
+fn pair(window: SlidingWindow, shards: usize) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ItaEngine::new(window, ItaConfig::default())),
+        Box::new(ShardedItaEngine::new(window, ItaConfig::default(), shards)),
+    ]
+}
+
+/// Batched scripts with churn: deregistrations land between batches (ops
+/// are sequential, so a `Deregister` is never *inside* a burst) and the
+/// tight window guarantees most batches expire several documents mid-batch.
+#[test]
+fn batched_fanout_matches_the_per_event_loop_across_shard_counts() {
+    let config = ScriptConfig {
+        events: 260,
+        max_batch: 24,
+        register_probability: 0.12,
+        deregister_probability: 0.08,
+        ..ScriptConfig::batched()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        // Window of 16 with batches up to 24: a single batch routinely
+        // wraps the whole window, so expiries fall mid-batch by
+        // construction.
+        let window = SlidingWindow::count_based(16);
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
+            0xBA7C_0000 + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn time_windows_expire_mid_batch_identically() {
+    let config = ScriptConfig {
+        events: 220,
+        max_batch: 16,
+        ..ScriptConfig::batched()
+    };
+    for shards in [2usize, 4, 8] {
+        // ~20ms window over 0–4ms gaps: a 16-event batch spans several
+        // window lengths, so the expiration set changes *within* the batch.
+        let window = SlidingWindow::time_based(std::time::Duration::from_millis(20));
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
+            0xBA7C_1000 + shards as u64,
+        );
+    }
+}
+
+/// The same sharded engine type, same stream: batched vs flattened-singles
+/// outcome sequences must match element for element, and so must every
+/// query's results after every op.
+#[test]
+fn sharded_batches_equal_sharded_singles_on_the_same_stream() {
+    let config = ScriptConfig {
+        events: 200,
+        max_batch: 20,
+        register_probability: 0.1,
+        deregister_probability: 0.06,
+        ..ScriptConfig::batched()
+    };
+    for shards in [2usize, 4] {
+        let window = SlidingWindow::count_based(14);
+        let script = generate_script(&config, 0xBA7C_2000 + shards as u64);
+        let mut batched = ShardedItaEngine::new(window, ItaConfig::default(), shards);
+        let mut singles = ShardedItaEngine::new(window, ItaConfig::default(), shards);
+        let mut live: Vec<QueryId> = Vec::new();
+        for (i, op) in script.ops.iter().enumerate() {
+            match op {
+                Op::Register(query) => {
+                    let qa = batched.register(query.clone());
+                    let qb = singles.register(query.clone());
+                    assert_eq!(qa, qb, "op {i}: ids diverged");
+                    live.push(qa);
+                }
+                Op::Deregister { victim } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let target = live.swap_remove(victim % live.len());
+                    assert!(batched.deregister(target));
+                    assert!(singles.deregister(target));
+                }
+                Op::Feed(doc) => {
+                    let a = batched.process_document(doc.clone());
+                    let b = singles.process_document(doc.clone());
+                    assert_eq!(a, b, "op {i}: single-event outcome diverged");
+                }
+                Op::FeedBatch(docs) => {
+                    let a = batched.process_batch(docs.clone());
+                    let b: Vec<EventOutcome> = docs
+                        .iter()
+                        .map(|doc| singles.process_document(doc.clone()))
+                        .collect();
+                    assert_eq!(a, b, "op {i}: batch outcomes diverged from singles");
+                }
+            }
+            for &q in &live {
+                assert_eq!(
+                    batched.current_results(q),
+                    singles.current_results(q),
+                    "op {i}: results diverged on {q}"
+                );
+            }
+            assert_eq!(batched.num_valid_documents(), singles.num_valid_documents());
+            assert_eq!(batched.clock(), singles.clock());
+        }
+    }
+}
+
+/// A deterministic deregister-between-batches scenario, driven through the
+/// full [`MonitoringServer`] plumbing so `feed_batch` and the batch stats
+/// path are covered end to end.
+#[test]
+fn server_feed_batch_with_deregistration_between_batches() {
+    let window = SlidingWindow::count_based(6);
+    let mut sharded = MonitoringServer::sharded_ita(window, ItaConfig::default(), 4);
+    let mut reference = MonitoringServer::ita(window, ItaConfig::default());
+    let make_doc = |id: u64, w: f64| {
+        Document::new(
+            DocId(id),
+            Timestamp::from_millis(id),
+            WeightedVector::from_weights([(TermId((id % 3) as u32), w)]),
+        )
+    };
+    let mut qids = Vec::new();
+    for t in 0..6u32 {
+        let q = cts_core::ContinuousQuery::from_weights([(TermId(t % 3), 0.5 + t as f64 * 0.1)], 2);
+        let qa = sharded.register_query(q.clone());
+        assert_eq!(reference.register_query(q), qa);
+        qids.push(qa);
+    }
+    let first: Vec<Document> = (0..9u64)
+        .map(|i| make_doc(i, 0.1 + (i % 4) as f64 * 0.2))
+        .collect();
+    assert_eq!(
+        sharded.feed_batch(first.clone()),
+        reference.feed_batch(first)
+    );
+    // Deregister between batches; the next batch must route around the gap.
+    assert!(sharded.deregister_query(qids[2]));
+    assert!(reference.deregister_query(qids[2]));
+    let second: Vec<Document> = (9..20u64)
+        .map(|i| make_doc(i, 0.05 + (i % 5) as f64 * 0.15))
+        .collect();
+    assert_eq!(
+        sharded.feed_batch(second.clone()),
+        reference.feed_batch(second)
+    );
+    for &q in qids.iter().filter(|&&q| q != qids[2]) {
+        assert_eq!(sharded.results(q), reference.results(q));
+    }
+    assert!(sharded.results(qids[2]).is_empty());
+    // The batch stats recorded both bursts on both servers.
+    assert_eq!(sharded.stats().events, 20);
+    assert_eq!(sharded.stats().batches, 2);
+    assert_eq!(sharded.stats().largest_batch, 11);
+    assert_eq!(reference.stats().batches, 2);
+    // Steady state: the 6-doc window expired everything the batches pushed
+    // out, identically on both.
+    assert_eq!(sharded.stats().expirations, reference.stats().expirations);
+    assert_eq!(sharded.num_valid_documents(), 6);
+}

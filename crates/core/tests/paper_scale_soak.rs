@@ -147,17 +147,23 @@ fn ita_survives_a_paper_scale_soak() {
 
 /// Sharded spot-check at paper scale: a 4-shard [`cts_core::ShardedItaEngine`]
 /// and the single-shard reference stream the same fill + workload +
-/// steady-state events, and a sample of queries is compared at checkpoints
-/// (plus the exact per-event [`cts_core::EventOutcome`] on every event).
-/// A reduced event count keeps the pair of paper-scale engines to soak-job
-/// runtime.
+/// steady-state events — **as a corpus-built [`cts_core::testkit`] op
+/// script** driven by the shared lockstep runner, with the steady state
+/// split between single events and 64-document bursts so the batched
+/// fan-out is exercised at full scale too. Outcomes are compared on every
+/// event; results on a sample of queries at checkpoints
+/// (`RunOptions { check_every, sample_stride }` keeps the pair of
+/// paper-scale engines to soak-job runtime). Minimization is deliberately
+/// skipped at this scale — the failure still reports the offending op.
 #[test]
 #[ignore = "paper-scale soak: minutes in release mode; run via cargo test --release -- --ignored"]
 fn sharded_ita_stays_exact_at_paper_scale() {
+    use cts_core::testkit::{run_script, Op, OpScript, RunOptions};
     use cts_core::ShardedItaEngine;
 
     const SHARDS: usize = 4;
     const EVENTS: usize = 1_000;
+    const BATCH: usize = 64;
 
     let corpus = CorpusConfig {
         seed: 0x50AC_0001,
@@ -174,17 +180,6 @@ fn sharded_ita_stays_exact_at_paper_scale() {
         corpus.vocabulary_size,
     );
     let dict = Dictionary::new();
-    let queries: Vec<ContinuousQuery> = workload
-        .generate()
-        .iter()
-        .map(|spec| {
-            ContinuousQuery::from_term_frequencies(&spec.terms, spec.k, Scoring::Cosine, &dict)
-        })
-        .collect();
-
-    let window = SlidingWindow::count_based(WINDOW_DOCS);
-    let mut reference = ItaEngine::new(window, ItaConfig::default());
-    let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), SHARDS);
     let mut stream = DocumentStream::new(
         corpus,
         StreamConfig {
@@ -192,40 +187,58 @@ fn sharded_ita_stays_exact_at_paper_scale() {
             seed: 0x50AC_0003,
         },
     );
+
+    // Build the whole soak as one op script: window fill, workload
+    // registration, then a steady state alternating singles and bursts.
+    let mut script = OpScript::new(0x50AC_0004);
     for _ in 0..WINDOW_DOCS {
-        let doc = stream.next_document();
-        reference.process_document(doc.clone());
-        sharded.process_document(doc);
+        script.push(Op::Feed(stream.next_document()));
     }
-    let qids: Vec<QueryId> = queries
-        .iter()
-        .map(|q| {
-            let qa = reference.register(q.clone());
-            let qb = sharded.register(q.clone());
-            assert_eq!(qa, qb, "engines assigned different ids");
-            qa
-        })
-        .collect();
-
-    let sample_stride = (NUM_QUERIES / SAMPLE).max(1);
-    for event in 1..=EVENTS {
-        let doc = stream.next_document();
-        let expected = reference.process_document(doc.clone());
-        let actual = sharded.process_document(doc);
-        assert_eq!(expected, actual, "event {event}: outcome diverged");
-
-        if event % CHECK_EVERY != 0 && event != EVENTS {
-            continue;
+    for spec in workload.generate() {
+        script.push(Op::Register(ContinuousQuery::from_term_frequencies(
+            &spec.terms,
+            spec.k,
+            Scoring::Cosine,
+            &dict,
+        )));
+    }
+    let mut emitted = 0;
+    while emitted < EVENTS {
+        if emitted % (4 * BATCH) < BATCH {
+            // One burst per four batch-lengths of stream.
+            let size = BATCH.min(EVENTS - emitted);
+            let docs: Vec<_> = (0..size).map(|_| stream.next_document()).collect();
+            emitted += docs.len();
+            script.push(Op::FeedBatch(docs));
+        } else {
+            script.push(Op::Feed(stream.next_document()));
+            emitted += 1;
         }
-        for qid in qids.iter().step_by(sample_stride) {
-            assert_eq!(
-                reference.current_results(*qid),
-                sharded.current_results(*qid),
-                "event {event}, {qid}: sharded results diverged"
+    }
+
+    let window = SlidingWindow::count_based(WINDOW_DOCS);
+    let mut reference = ItaEngine::new(window, ItaConfig::default());
+    let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), SHARDS);
+    {
+        // `&mut E` is an Engine, so the runner drives borrowed engines and
+        // the concrete types stay available for the stats checks below.
+        let mut engines: Vec<Box<dyn cts_core::Engine + '_>> =
+            vec![Box::new(&mut reference), Box::new(&mut sharded)];
+        let options = RunOptions {
+            compare_outcomes: true,
+            check_every: CHECK_EVERY,
+            sample_stride: (NUM_QUERIES / SAMPLE).max(1),
+        };
+        if let Err(failure) = run_script(&mut engines, &script, &options) {
+            panic!(
+                "sharded paper-scale soak diverged (seed {:#x}): {failure}",
+                script.seed
             );
         }
-        eprintln!("sharded soak: event {event}/{EVENTS} verified");
     }
+    assert_eq!(reference.num_queries(), NUM_QUERIES);
+    assert_eq!(sharded.num_queries(), NUM_QUERIES);
+    assert_eq!(sharded.num_valid_documents(), WINDOW_DOCS);
 
     // Every shard mirrors the full window; the shadow postings across all
     // shards stay below the full index (most composition terms are watched

@@ -1,143 +1,157 @@
 //! Randomized differential test: [`ShardedItaEngine`] must be **exactly**
 //! equivalent to the single-shard [`ItaEngine`] — byte-identical top-k on
-//! every query after every event, and identical [`EventOutcome`] accounting
+//! every query after every event, and identical `EventOutcome` accounting
 //! (expirations, touched queries, changed results) — across shard counts
 //! {1, 2, 4, 8}, under both count- and time-based windows, with query
-//! registration and deregistration interleaved into the stream.
+//! registration and deregistration interleaved into the stream, and with
+//! the skew-aware rebalancer migrating queries mid-run.
 //!
-//! The stream is adversarial on purpose: a small vocabulary and a discrete
-//! weight palette force long tie runs and dense term sharing between
-//! queries, so shadow-index backfill (registration after traffic), list
-//! retirement (deregistration), refill after top-k expiry and roll-up all
-//! fire constantly. Any divergence panics with the offending event.
+//! All of the mechanics — the seeded op-script generator, the lockstep
+//! runner, and the failure path that echoes the seed and a minimized
+//! reproduction script — live in [`cts_core::testkit`]; this file only
+//! states *which* engine pairs and stream shapes must agree. The default
+//! [`ScriptConfig`] is adversarial on purpose: a small vocabulary and a
+//! discrete weight palette force long tie runs and dense term sharing
+//! between queries, so shadow-index backfill (registration after traffic),
+//! list retirement (deregistration), refill after top-k expiry and roll-up
+//! all fire constantly.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
-use cts_core::validate::assert_lockstep_event;
-use cts_core::{ContinuousQuery, Engine, ItaConfig, ItaEngine, ShardedItaEngine};
-use cts_index::{DocId, Document, QueryId, SlidingWindow, Timestamp};
-use cts_text::{TermId, WeightedVector};
+use cts_core::testkit::{assert_script_equivalence, ScriptConfig};
+use cts_core::{Engine, ItaConfig, ItaEngine, RebalanceConfig, ShardedItaEngine};
+use cts_index::SlidingWindow;
 
-/// Vocabulary size: small enough that queries collide on terms across
-/// shards, large enough that some document terms are watched by no query.
-const VOCABULARY: u32 = 24;
-/// Discrete weight palette — exact score ties are the hard case for top-k
-/// order and threshold frontiers.
-const PALETTE: [f64; 5] = [0.1, 0.2, 0.2, 0.4, 0.7];
-
-fn random_document(rng: &mut SmallRng, id: u64, arrival: Timestamp) -> Document {
-    let terms = rng.gen_range(1usize..6);
-    let weights = (0..terms).map(|_| {
-        (
-            TermId(rng.gen_range(0u32..VOCABULARY)),
-            PALETTE[rng.gen_range(0usize..PALETTE.len())],
-        )
-    });
-    Document::new(DocId(id), arrival, WeightedVector::from_weights(weights))
+/// The reference/candidate pair every scenario drives: a single-shard
+/// [`ItaEngine`] against a [`ShardedItaEngine`] with `shards` workers.
+fn pair(window: SlidingWindow, shards: usize) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ItaEngine::new(window, ItaConfig::default())),
+        Box::new(ShardedItaEngine::new(window, ItaConfig::default(), shards)),
+    ]
 }
 
-fn random_query(rng: &mut SmallRng) -> ContinuousQuery {
-    // 1–3 terms with strictly positive weights; duplicate term draws
-    // collapse to one entry, which still leaves the query non-empty.
-    let terms = rng.gen_range(1usize..4);
-    let weights: Vec<(TermId, f64)> = (0..terms)
-        .map(|_| {
-            (
-                TermId(rng.gen_range(0u32..VOCABULARY)),
-                0.1 + rng.gen_range(0u32..8) as f64 * 0.1,
-            )
-        })
-        .collect();
-    ContinuousQuery::from_weights(weights, rng.gen_range(1usize..4))
-}
-
-/// Drives one reference/sharded pair through `events` stream events with
-/// register/deregister churn, lockstep-checking every event.
-fn run_differential(window: SlidingWindow, shards: usize, seed: u64, events: u64) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut reference = ItaEngine::new(window, ItaConfig::default());
-    let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), shards);
-    let mut live: Vec<QueryId> = Vec::new();
-    let mut clock = Timestamp::ZERO;
-
-    // A few queries exist before any traffic...
-    for _ in 0..3 {
-        let q = random_query(&mut rng);
-        let qa = reference.register(q.clone());
-        let qb = sharded.register(q);
-        assert_eq!(qa, qb, "engines assigned different query ids");
-        live.push(qa);
-    }
-
-    for event in 0..events {
-        // ...and the rest churn in and out mid-stream, exercising shadow
-        // backfill and list retirement.
-        if rng.gen_bool(0.10) {
-            let q = random_query(&mut rng);
-            let qa = reference.register(q.clone());
-            let qb = sharded.register(q);
-            assert_eq!(qa, qb);
-            live.push(qa);
-        }
-        if live.len() > 2 && rng.gen_bool(0.05) {
-            let victim = live.swap_remove(rng.gen_range(0usize..live.len()));
-            assert!(reference.deregister(victim));
-            assert!(sharded.deregister(victim), "shard lost query {victim}");
-        }
-        clock = clock.advance(std::time::Duration::from_millis(rng.gen_range(0u64..5)));
-        let doc = random_document(&mut rng, event, clock);
-        assert_lockstep_event(&mut reference, &mut sharded, &doc, &live);
-    }
-
-    assert_eq!(reference.num_queries(), sharded.num_queries());
-    assert_eq!(
-        reference.num_valid_documents(),
-        sharded.num_valid_documents()
-    );
-    // The shadow indexes never hold more postings than the full index times
-    // the shard count, and every shard mirrors the same window.
-    let full_docs = reference.index_stats().documents;
-    for stats in sharded.shard_index_stats() {
-        assert_eq!(stats.documents, full_docs);
-    }
+/// Same pair, but with an aggressive rebalancer so migrations fire many
+/// times within a short script (trigger exactly at the uniform share).
+fn eager_rebalance_pair(window: SlidingWindow, shards: usize) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ItaEngine::new(window, ItaConfig::default())),
+        Box::new(ShardedItaEngine::with_rebalance(
+            window,
+            ItaConfig::default(),
+            shards,
+            RebalanceConfig {
+                max_over_ideal: 1.0,
+                ..RebalanceConfig::default()
+            },
+        )),
+    ]
 }
 
 #[test]
 fn sharded_matches_single_shard_under_count_based_windows() {
+    let config = ScriptConfig::default();
     for shards in [1usize, 2, 4, 8] {
-        run_differential(
-            SlidingWindow::count_based(30),
-            shards,
+        let window = SlidingWindow::count_based(30);
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
             0x5EED_0000 + shards as u64,
-            320,
         );
+    }
+}
+
+/// The runner compares engine-level observables, and
+/// `ShardedItaEngine::num_valid_documents` is served by shard 0 — so this
+/// scenario keeps the concrete engines (`&mut E` is an `Engine`) and
+/// asserts afterwards that **every** shard's shadow index mirrors the
+/// reference window exactly. A shard ≥ 1 mis-expiring its mirror cannot
+/// hide behind a lucky query placement here.
+#[test]
+fn every_shard_mirrors_the_reference_window() {
+    use cts_core::testkit::{generate_script, run_script, RunOptions};
+
+    for shards in [2usize, 4, 8] {
+        let window = SlidingWindow::count_based(30);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), shards);
+        let script = generate_script(
+            &ScriptConfig {
+                events: 200,
+                ..ScriptConfig::batched()
+            },
+            0x5EED_4000 + shards as u64,
+        );
+        {
+            let mut engines: Vec<Box<dyn Engine + '_>> =
+                vec![Box::new(&mut reference), Box::new(&mut sharded)];
+            if let Err(failure) = run_script(&mut engines, &script, &RunOptions::default()) {
+                panic!("diverged (seed {:#x}): {failure}\n{script}", script.seed);
+            }
+        }
+        let full_docs = reference.index_stats().documents;
+        for (shard, stats) in sharded.shard_index_stats().iter().enumerate() {
+            assert_eq!(
+                stats.documents, full_docs,
+                "{shards}-shard engine: shard {shard} window mirror drifted"
+            );
+        }
     }
 }
 
 #[test]
 fn sharded_matches_single_shard_under_time_based_windows() {
-    // ~40ms window over 0–5ms arrival gaps: bursts of multi-document expiry.
+    // ~40ms window over 0–4ms arrival gaps: bursts of multi-document expiry.
+    let config = ScriptConfig::default();
     for shards in [1usize, 2, 4, 8] {
-        run_differential(
-            SlidingWindow::time_based(std::time::Duration::from_millis(40)),
-            shards,
+        let window = SlidingWindow::time_based(Duration::from_millis(40));
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
             0x5EED_1000 + shards as u64,
-            320,
         );
     }
 }
 
 #[test]
 fn sharded_matches_single_shard_with_heavy_query_churn() {
-    // A second count-based pass at a different seed band and a tighter
-    // window, so expiration-triggered refills dominate.
+    // A tighter window and doubled churn probabilities, so
+    // expiration-triggered refills dominate and the rebalancer sees the
+    // query population move constantly.
+    let config = ScriptConfig {
+        events: 400,
+        register_probability: 0.2,
+        deregister_probability: 0.1,
+        ..ScriptConfig::default()
+    };
     for shards in [2usize, 8] {
-        run_differential(
-            SlidingWindow::count_based(12),
-            shards,
+        let window = SlidingWindow::count_based(12);
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
             0x5EED_2000 + shards as u64,
-            400,
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_single_shard_with_eager_migration() {
+    // Trigger ratio 1.0: any imbalance the hash placement or churn creates
+    // is repaired immediately, so query state migrates (threshold trees,
+    // result sets, shadow-filter references) many times per script — and
+    // the results must not move by a byte.
+    let config = ScriptConfig {
+        events: 300,
+        register_probability: 0.15,
+        deregister_probability: 0.10,
+        ..ScriptConfig::batched()
+    };
+    for shards in [2usize, 4] {
+        let window = SlidingWindow::count_based(25);
+        assert_script_equivalence(
+            &|| eager_rebalance_pair(window, shards),
+            &config,
+            0x5EED_3000 + shards as u64,
         );
     }
 }

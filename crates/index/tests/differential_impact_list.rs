@@ -11,10 +11,13 @@
 //! straddle segment boundaries — the exact case where a segmented cursor can
 //! silently go wrong. The segmented list's structural invariants are checked
 //! after every mutation.
+//!
+//! The seeded randomness comes from [`cts_core::testkit::ScriptRng`] — the
+//! same deterministic generator behind the engine-level op-script suites —
+//! so every run reproduces from the `u64` seed baked into each test (echoed
+//! in every assertion context via the step index).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use cts_core::testkit::ScriptRng;
 use cts_index::{DocId, FlatImpactList, Posting, SegmentedImpactList};
 use cts_text::Weight;
 
@@ -73,7 +76,7 @@ fn assert_cursor_walks_agree(seg: &SegmentedImpactList, flat: &FlatImpactList) {
 
 /// One full differential run at the given segment capacity.
 fn differential_run(capacity: usize, seed: u64, steps: usize) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = ScriptRng::new(seed);
     let mut seg = SegmentedImpactList::with_segment_capacity(capacity);
     let mut flat = FlatImpactList::new();
     // The live (doc, weight) population, so removals usually hit.
@@ -81,38 +84,35 @@ fn differential_run(capacity: usize, seed: u64, steps: usize) {
     let mut next_doc = 0u64;
 
     for step in 0..steps {
-        let op = rng.gen_range(0u32..10);
+        let op = rng.below(10);
         match op {
             // 0..6: insert a fresh posting (tie-heavy palette).
             0..=5 => {
                 let doc = DocId(next_doc);
                 next_doc += 1;
-                let w = palette(rng.gen_range(0usize..7));
+                let w = palette(rng.below(7));
                 assert_eq!(seg.insert(doc, w), flat.insert(doc, w), "insert {doc}");
                 live.push((doc, w));
             }
             // 6: duplicate insert of a live posting (must be rejected by both).
             6 if !live.is_empty() => {
-                let (doc, w) = live[rng.gen_range(0usize..live.len())];
+                let (doc, w) = live[rng.below(live.len())];
                 assert_eq!(seg.insert(doc, w), flat.insert(doc, w));
                 assert!(!seg.insert(doc, w), "duplicate insert must be rejected");
             }
             // 7..8: remove a live posting.
             7 | 8 if !live.is_empty() => {
-                let at = rng.gen_range(0usize..live.len());
+                let at = rng.below(live.len());
                 let (doc, w) = live.swap_remove(at);
                 assert_eq!(seg.remove(doc, w), flat.remove(doc, w), "remove {doc}");
                 assert!(flat.weight_of(doc).is_none());
             }
             // 9: remove miss — absent doc or wrong weight for a live doc.
             _ => {
-                let (doc, w) = if live.is_empty() || rng.gen_bool(0.5) {
-                    (
-                        DocId(next_doc + 1_000_000),
-                        palette(rng.gen_range(0usize..7)),
-                    )
+                let (doc, w) = if live.is_empty() || rng.chance(0.5) {
+                    (DocId(next_doc + 1_000_000), palette(rng.below(7)))
                 } else {
-                    let (doc, w) = live[rng.gen_range(0usize..live.len())];
+                    let (doc, w) = live[rng.below(live.len())];
                     (doc, Weight::new(w.get() + 0.001))
                 };
                 assert_eq!(seg.remove(doc, w), flat.remove(doc, w));
