@@ -41,6 +41,7 @@ fn bench_rollup(c: &mut Criterion) {
         "ita/rollup_on",
         ItaConfig {
             enable_rollup: true,
+            ..ItaConfig::default()
         },
     );
     stream_events(
@@ -48,6 +49,7 @@ fn bench_rollup(c: &mut Criterion) {
         "ita/rollup_off",
         ItaConfig {
             enable_rollup: false,
+            ..ItaConfig::default()
         },
     );
 }

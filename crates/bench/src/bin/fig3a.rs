@@ -18,7 +18,9 @@
 //!   options: --events N (measured events/cell), --shards N (sharded-ITA
 //!   workers, default 1), --batch N (events per sharded process_batch
 //!   round-trip, default 1; > 1 adds a second, batched sharded arm per cell
-//!   next to the per-event one), --out PATH (default BENCH_fig3a.json)
+//!   next to the per-event one), --register-burst (register the workload in
+//!   bursts of --batch queries per register_batch call instead of one bulk
+//!   call), --out PATH (default BENCH_fig3a.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

@@ -16,7 +16,9 @@
 //!   options: --full (adds the 80k window), --events N, --shards N
 //!   (sharded-ITA workers, default 1), --batch N (events per sharded
 //!   process_batch round-trip, default 1; > 1 adds a second, batched
-//!   sharded arm per cell), --out PATH (default BENCH_fig3b.json)
+//!   sharded arm per cell), --register-burst (register the workload in
+//!   bursts of --batch queries per register_batch call instead of one bulk
+//!   call), --out PATH (default BENCH_fig3b.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

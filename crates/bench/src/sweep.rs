@@ -64,6 +64,11 @@ pub struct SweepSettings {
     /// when `batch > 1` the cell grows an extra `sharded-ita` arm at batch
     /// 1, so the handoff-overhead reduction is recorded side by side.
     pub batch: usize,
+    /// Queries per [`Engine::register_batch`] call during setup. 0 registers
+    /// the whole workload in **one** bulk call (the cheapest protocol);
+    /// a positive value chunks registration into bursts of that size — the
+    /// `register_burst` sweep mode, pricing bursty online registration.
+    pub register_burst: usize,
 }
 
 impl SweepSettings {
@@ -85,6 +90,7 @@ impl SweepSettings {
             self_check_stride: 20,
             shards: 1,
             batch: 1,
+            register_burst: 0,
         }
     }
 
@@ -140,6 +146,9 @@ pub struct CellReport {
     /// Events per `process_batch` call this arm was driven with (1 = the
     /// per-event protocol).
     pub batch: usize,
+    /// Queries per `register_batch` call during setup (0 = the whole
+    /// workload in one bulk call).
+    pub register_burst: usize,
     /// Slowest single batch, microseconds (0 when `batch == 1`; the
     /// per-event maximum is `max_event_micros` in that case).
     pub max_batch_micros: f64,
@@ -291,8 +300,21 @@ fn drive<E: Engine>(
     }
     let fill_seconds = start.elapsed().as_secs_f64();
 
+    // Registration goes through the bulk path (`Engine::register_batch`),
+    // either as one call over the whole workload or — in the
+    // `register_burst` sweep mode — chunked into bursts, pricing bursty
+    // online registration. Both are differential-tested byte-identical to
+    // the one-by-one loop this harness used before DESIGN.md §9.
     let start = Instant::now();
-    let query_ids: Vec<QueryId> = queries.iter().map(|q| engine.register(q.clone())).collect();
+    let query_ids: Vec<QueryId> = if settings.register_burst == 0 {
+        engine.register_batch(queries.to_vec())
+    } else {
+        let mut ids = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(settings.register_burst) {
+            ids.extend(engine.register_batch(chunk.to_vec()));
+        }
+        ids
+    };
     let register_seconds = start.elapsed().as_secs_f64();
 
     on_measure_start(&mut engine);
@@ -329,6 +351,7 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
         index_postings: None,
         shards: None,
         batch: 1,
+        register_burst: settings.register_burst,
         max_batch_micros: stats.max_batch_time.as_secs_f64() * 1e6,
         migrations: None,
         shard_busy_per_event_micros: None,
@@ -483,11 +506,15 @@ pub struct SweepOptions {
     /// Events per `process_batch` round-trip for the batched sharded arm
     /// (1 disables the extra batched arm).
     pub batch: usize,
+    /// Register the query workload in bursts of `batch` queries per
+    /// `register_batch` call instead of one bulk call (the `register_burst`
+    /// sweep mode).
+    pub register_burst: bool,
 }
 
 /// The usage text printed when a sweep binary is invoked with bad arguments.
 pub const USAGE: &str =
-    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--batch N] [--out PATH]
+    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--batch N] [--register-burst] [--out PATH]
   --quick     run the reduced CI-smoke grid instead of the paper-scale one
   --full      extend the grid to its largest (slowest) configuration
   --events N  measured events per cell (positive integer)
@@ -495,6 +522,10 @@ pub const USAGE: &str =
   --batch N   events per process_batch round-trip on the sharded arm (positive
               integer, default 1; values > 1 add a second, batched sharded arm
               to every cell next to the per-event one)
+  --register-burst
+              register the query workload in bursts of `--batch` queries per
+              register_batch call instead of one bulk call, pricing bursty
+              online registration
   --out PATH  output path for the JSON report";
 
 impl SweepOptions {
@@ -525,6 +556,7 @@ impl SweepOptions {
             events: None,
             shards: 1,
             batch: 1,
+            register_burst: false,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -564,6 +596,7 @@ impl SweepOptions {
                     }
                     options.batch = parsed;
                 }
+                "--register-burst" => options.register_burst = true,
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -589,6 +622,11 @@ pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
     for cell in &mut cells {
         cell.shards = options.shards;
         cell.batch = options.batch;
+        cell.register_burst = if options.register_burst {
+            options.batch
+        } else {
+            0
+        };
     }
     cells
 }
@@ -616,6 +654,11 @@ pub fn fig3b_grid(options: &SweepOptions) -> Vec<SweepSettings> {
     for cell in &mut cells {
         cell.shards = options.shards;
         cell.batch = options.batch;
+        cell.register_burst = if options.register_burst {
+            options.batch
+        } else {
+            0
+        };
     }
     cells
 }
@@ -697,12 +740,16 @@ mod tests {
         assert_eq!(batched.batch, 16);
         // Both sharded arms processed every event and reproduced the ITA
         // snapshot; the batched arm was really driven through
-        // process_batch (it recorded whole-batch maxima, no per-event max).
+        // process_batch (it recorded whole-batch maxima) — and since the
+        // sharded workers time their batched events individually, its
+        // per-event maximum is populated too, not the 0.0 this field used
+        // to ship on batched arms.
         assert_eq!(singles.measured_events, 40);
         assert_eq!(batched.measured_events, 40);
         assert!(batched.self_check.starts_with("ok ("));
         assert!(batched.max_batch_micros > 0.0);
-        assert_eq!(batched.max_event_micros, 0.0);
+        assert!(batched.max_event_micros > 0.0);
+        assert!(batched.max_event_micros <= batched.max_batch_micros);
         assert!(singles.max_event_micros > 0.0);
         assert_eq!(singles.max_batch_micros, 0.0);
         assert!(batched.migrations.is_some());
@@ -711,6 +758,20 @@ mod tests {
             singles.queries_touched_per_event,
             batched.queries_touched_per_event
         );
+    }
+
+    #[test]
+    fn register_burst_mode_chunks_registration_and_still_self_checks() {
+        let mut settings = SweepSettings::quick(9, 60, 30);
+        settings.shards = 2;
+        settings.register_burst = 4; // 9 queries → bursts of 4, 4, 1.
+        let cells = run_cell(&settings);
+        assert_eq!(cells.len(), 3);
+        for cell in &cells {
+            assert_eq!(cell.register_burst, 4);
+            assert!(cell.register_seconds >= 0.0);
+            assert!(cell.self_check == "reference" || cell.self_check.starts_with("ok ("));
+        }
     }
 
     #[test]
@@ -731,7 +792,16 @@ mod tests {
     #[test]
     fn argument_grammar_accepts_the_documented_flags() {
         let options = parse(&[
-            "--quick", "--events", "50", "--shards", "4", "--batch", "64", "--out", "x.json",
+            "--quick",
+            "--events",
+            "50",
+            "--shards",
+            "4",
+            "--batch",
+            "64",
+            "--register-burst",
+            "--out",
+            "x.json",
         ])
         .unwrap();
         assert!(options.quick);
@@ -739,12 +809,14 @@ mod tests {
         assert_eq!(options.events, Some(50));
         assert_eq!(options.shards, 4);
         assert_eq!(options.batch, 64);
+        assert!(options.register_burst);
         assert_eq!(options.out, "x.json");
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.out, "DEFAULT.json");
         assert_eq!(defaults.events, None);
         assert_eq!(defaults.shards, 1);
         assert_eq!(defaults.batch, 1);
+        assert!(!defaults.register_burst);
     }
 
     #[test]
@@ -765,6 +837,7 @@ mod tests {
         assert!(USAGE.contains("--events"));
         assert!(USAGE.contains("--shards"));
         assert!(USAGE.contains("--batch"));
+        assert!(USAGE.contains("--register-burst"));
     }
 
     #[test]
@@ -788,6 +861,7 @@ mod tests {
             events: None,
             shards: 4,
             batch: 64,
+            register_burst: false,
         };
         let quick = SweepOptions {
             quick: true,
@@ -798,10 +872,19 @@ mod tests {
             ..paper.clone()
         };
         let a = fig3a_grid(&paper);
-        assert!(a.iter().all(|s| s.shards == 4 && s.batch == 64));
+        assert!(a
+            .iter()
+            .all(|s| s.shards == 4 && s.batch == 64 && s.register_burst == 0));
         assert!(fig3b_grid(&paper)
             .iter()
-            .all(|s| s.shards == 4 && s.batch == 64));
+            .all(|s| s.shards == 4 && s.batch == 64 && s.register_burst == 0));
+        // --register-burst chunks registration at the --batch size.
+        let bursty = SweepOptions {
+            register_burst: true,
+            ..paper.clone()
+        };
+        assert!(fig3a_grid(&bursty).iter().all(|s| s.register_burst == 64));
+        assert!(fig3b_grid(&bursty).iter().all(|s| s.register_burst == 64));
         assert_eq!(
             a.iter().map(|s| s.num_queries).collect::<Vec<_>>(),
             vec![100, 250, 500, 1_000]

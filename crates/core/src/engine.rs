@@ -57,6 +57,19 @@ pub trait Engine {
     /// result is computed immediately over the currently valid documents.
     fn register(&mut self, query: ContinuousQuery) -> QueryId;
 
+    /// Registers a burst of queries in order, returning their ids —
+    /// **byte-identical** to calling [`Engine::register`] once per query, in
+    /// order (ids, initial results and all future event processing must come
+    /// out the same; the registration-burst differential tests enforce it).
+    /// The default implementation is that loop. Engines with a cheaper bulk
+    /// path override it: the ITA engine brings all of the batch's newly-live
+    /// shadow terms up in one window merge instead of one backfill scan per
+    /// query, and the sharded engine registers with a single fan-out
+    /// round-trip per shard.
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        queries.into_iter().map(|q| self.register(q)).collect()
+    }
+
     /// Removes a query from the system. Returns `true` if it existed.
     fn deregister(&mut self, query: QueryId) -> bool;
 
@@ -94,6 +107,17 @@ pub trait Engine {
 
     /// A short, stable name for reporting ("ita", "naive", …).
     fn name(&self) -> &'static str;
+
+    /// The most expensive single event observed *inside* any batch this
+    /// engine processed via [`Engine::process_batch`], when the engine times
+    /// its batched events individually (the sharded engine's workers do,
+    /// per-shard). `None` means the engine has no per-event view of its
+    /// batches — the monitor can then only time whole batches, and
+    /// `max_event_micros` stays 0 on purely batch-fed runs. Cumulative since
+    /// the engine's stats were last reset.
+    fn batched_max_event_time(&self) -> Option<std::time::Duration> {
+        None
+    }
 }
 
 /// Mutable references to engines are engines: harnesses that want to drive
@@ -105,6 +129,10 @@ pub trait Engine {
 impl<E: Engine + ?Sized> Engine for &mut E {
     fn register(&mut self, query: ContinuousQuery) -> QueryId {
         (**self).register(query)
+    }
+
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        (**self).register_batch(queries)
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
@@ -137,6 +165,10 @@ impl<E: Engine + ?Sized> Engine for &mut E {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn batched_max_event_time(&self) -> Option<std::time::Duration> {
+        (**self).batched_max_event_time()
     }
 }
 

@@ -64,12 +64,20 @@ pub struct ItaConfig {
     /// leaves the algorithm correct but lets result sets grow monotonically
     /// between expirations — the ablation measured by `ablation_rollup`.
     pub enable_rollup: bool,
+    /// Whether a term-filtered engine admits newly-live terms **lazily**:
+    /// registration and migration mark them cold in the shadow index and the
+    /// full-window backfill runs only when a threshold search or roll-up
+    /// first probes the list (DESIGN.md §9). Disabling restores the eager
+    /// backfill-on-register path — the `ablation_register` foil. Unfiltered
+    /// engines ignore the knob (their lists are always maintained).
+    pub lazy_registration: bool,
 }
 
 impl Default for ItaConfig {
     fn default() -> Self {
         Self {
             enable_rollup: true,
+            lazy_registration: true,
         }
     }
 }
@@ -266,6 +274,21 @@ impl ItaEngine {
         self.index.stats()
     }
 
+    /// Impact entries filed by the registration-path backfills of this
+    /// engine's index so far — the registration-cost regression counter (see
+    /// [`cts_index::InvertedIndex::register_postings_touched`]). Always 0 on
+    /// unfiltered engines.
+    pub fn register_postings_touched(&self) -> u64 {
+        self.index.register_postings_touched()
+    }
+
+    /// Number of shadow-index terms currently cold (live in the term filter
+    /// but not yet materialised). Always 0 on unfiltered engines and under
+    /// eager registration.
+    pub fn num_cold_terms(&self) -> usize {
+        self.index.num_cold()
+    }
+
     /// Iterates over the currently valid documents in arrival order.
     /// Exposed so validation harnesses (e.g. the paper-scale soak) can
     /// re-evaluate queries against the engine's own window without keeping a
@@ -285,9 +308,30 @@ impl ItaEngine {
             .map(|(_, theta)| *theta)
     }
 
+    /// Materialises any still-cold terms of `qid` before its lists are
+    /// probed — the whole batch of cold terms in one store pass. The
+    /// `num_cold` fast path keeps this a single branch on engines with no
+    /// cold terms (unfiltered engines, and filtered ones in steady state).
+    fn ensure_query_terms_warm(&mut self, qid: QueryId) {
+        if self.index.num_cold() == 0 {
+            return;
+        }
+        let state = self.queries.get(qid).expect("query exists");
+        let cold: Vec<TermId> = state
+            .thresholds
+            .iter()
+            .map(|(term, _)| *term)
+            .filter(|term| self.index.is_cold(*term))
+            .collect();
+        if !cold.is_empty() {
+            self.index.materialise_terms(&cold);
+        }
+    }
+
     /// Runs (or resumes) the threshold search for `qid` until `S_k ≥ τ`,
     /// then reconciles the per-list threshold trees with the new frontier.
     fn run_threshold_search(&mut self, qid: QueryId, register: bool) {
+        self.ensure_query_terms_warm(qid);
         let state = self.queries.get_mut(qid).expect("query exists");
         let before: Vec<Weight> = state.thresholds.iter().map(|(_, theta)| *theta).collect();
         threshold_descent(&self.index, state);
@@ -373,6 +417,7 @@ impl ItaEngine {
     /// influence threshold stays at or below `S_k`, evicting unverified
     /// documents whose only support was the reclaimed band (paper §III-C).
     fn roll_up(&mut self, qid: QueryId) {
+        self.ensure_query_terms_warm(qid);
         let state = self.queries.get_mut(qid).expect("query exists");
         let k = state.query.k();
         loop {
@@ -528,19 +573,75 @@ impl ItaEngine {
     ///
     /// Panics if `qid` is already registered.
     pub fn register_with_id(&mut self, qid: QueryId, query: ContinuousQuery) {
-        self.next_query = self.next_query.max(qid.0.saturating_add(1));
         if let Some(filter) = &mut self.term_filter {
-            // All of the query's newly-live terms are backfilled in one pass
-            // over the stored window, not one window scan per term.
             let newly_live: Vec<TermId> = query
                 .terms()
                 .filter(|(term, _)| filter.acquire(*term))
                 .map(|(term, _)| term)
                 .collect();
+            self.admit_newly_live(newly_live);
+        }
+        self.finish_register(qid, query);
+    }
+
+    /// Registers a whole batch of queries under caller-chosen ids — the
+    /// shard-side half of [`Engine::register_batch`]. All of the batch's
+    /// newly-live terms are brought up in **one sorted merge over the stored
+    /// window** (one [`InvertedIndex::backfill_terms`] pass), and only then
+    /// do the per-query threshold searches run — each is byte-identical to
+    /// the one a lone [`ItaEngine::register_with_id`] call would have run,
+    /// because registration reads the index and writes only the registering
+    /// query's own state. The old path paid that window scan once *per
+    /// query*; this is the registration cliff fix of DESIGN.md §9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is already registered.
+    pub fn register_batch_with_ids(&mut self, batch: Vec<(QueryId, ContinuousQuery)>) {
+        if let Some(filter) = &mut self.term_filter {
+            // `acquire` returns true exactly once per distinct term across
+            // the whole batch, so `newly_live` is duplicate-free.
+            let mut newly_live: Vec<TermId> = Vec::new();
+            for (_, query) in &batch {
+                newly_live.extend(
+                    query
+                        .terms()
+                        .filter(|(term, _)| filter.acquire(*term))
+                        .map(|(term, _)| term),
+                );
+            }
+            // Eager on purpose, even under lazy registration: the threshold
+            // searches below probe every one of these lists immediately, so
+            // cold marks would only re-discover them one query at a time.
             if !newly_live.is_empty() {
                 self.index.backfill_terms(&newly_live);
             }
         }
+        for (qid, query) in batch {
+            self.finish_register(qid, query);
+        }
+    }
+
+    /// Brings newly-live shadow terms in: cold marks under lazy registration
+    /// (the backfill runs at first probe), an immediate one-pass backfill
+    /// otherwise.
+    fn admit_newly_live(&mut self, newly_live: Vec<TermId>) {
+        if newly_live.is_empty() {
+            return;
+        }
+        if self.config.lazy_registration {
+            for term in newly_live {
+                self.index.mark_cold(term);
+            }
+        } else {
+            self.index.backfill_terms(&newly_live);
+        }
+    }
+
+    /// The filter-independent tail of registration: record the query state
+    /// and run its initial threshold search.
+    fn finish_register(&mut self, qid: QueryId, query: ContinuousQuery) {
+        self.next_query = self.next_query.max(qid.0.saturating_add(1));
         let thresholds = query
             .terms()
             .map(|(t, _)| (t, Weight::new(f64::INFINITY)))
@@ -591,9 +692,10 @@ impl ItaEngine {
     /// engine whose valid-document window matches this one's (the sharded
     /// engine's shards all mirror the same window, so any shard pair
     /// qualifies). The migrated thresholds are filed into the threshold trees
-    /// verbatim and, on a term-filtered engine, newly-live terms are
-    /// backfilled from the stored window — after which this engine maintains
-    /// the query byte-identically to the one it left.
+    /// verbatim and, on a term-filtered engine, newly-live terms are admitted
+    /// to the shadow index (cold under lazy registration, backfilled eagerly
+    /// otherwise) — after which this engine maintains the query
+    /// byte-identically to the one it left.
     ///
     /// # Panics
     ///
@@ -602,15 +704,16 @@ impl ItaEngine {
         self.next_query = self.next_query.max(qid.0.saturating_add(1));
         let QueryMigration { state } = migration;
         if let Some(filter) = &mut self.term_filter {
+            // Under lazy registration the newly-live terms only go cold here:
+            // installation runs no threshold search, so a migration costs no
+            // window scan at all until (unless) the query is next probed.
             let newly_live: Vec<TermId> = state
                 .thresholds
                 .iter()
                 .filter(|(term, _)| filter.acquire(*term))
                 .map(|(term, _)| *term)
                 .collect();
-            if !newly_live.is_empty() {
-                self.index.backfill_terms(&newly_live);
-            }
+            self.admit_newly_live(newly_live);
         }
         for (term, theta) in &state.thresholds {
             self.trees.get_or_default(*term).insert(qid, *theta);
@@ -661,6 +764,20 @@ impl Engine for ItaEngine {
         let qid = QueryId(self.next_query);
         self.register_with_id(qid, query);
         qid
+    }
+
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        let batch: Vec<(QueryId, ContinuousQuery)> = queries
+            .into_iter()
+            .map(|query| {
+                let qid = QueryId(self.next_query);
+                self.next_query += 1;
+                (qid, query)
+            })
+            .collect();
+        let ids: Vec<QueryId> = batch.iter().map(|(qid, _)| *qid).collect();
+        self.register_batch_with_ids(batch);
+        ids
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
@@ -885,6 +1002,7 @@ mod tests {
             SlidingWindow::count_based(64),
             ItaConfig {
                 enable_rollup: false,
+                ..ItaConfig::default()
             },
         );
         let query = ContinuousQuery::from_weights([(TermId(0), 1.0)], 2);
@@ -1168,5 +1286,138 @@ mod tests {
         e.process_document(doc(5, &[(0, 0.5)]));
         assert_eq!(e.clock(), Timestamp::from_millis(5));
         assert_eq!(e.num_valid_documents(), 1);
+    }
+
+    /// A term-filtered engine whose window holds `hits` documents carrying
+    /// `term` among `filler` documents that do not.
+    fn filtered_window(term: u32, hits: u64, filler: u64) -> ItaEngine {
+        let total = hits + filler;
+        let mut e = ItaEngine::term_filtered(
+            SlidingWindow::count_based(total as usize + 1),
+            ItaConfig::default(),
+        );
+        for i in 0..total {
+            // Spread the hits across the window; fillers use a disjoint,
+            // rotating vocabulary so the window is never degenerate.
+            if i % (total / hits.max(1)).max(1) == 0 && i / (total / hits.max(1)).max(1) < hits {
+                e.process_document(doc(i, &[(term, 0.2 + (i % 5) as f64 * 0.1)]));
+            } else {
+                e.process_document(doc(i, &[(1000 + (i % 7) as u32, 0.5)]));
+            }
+        }
+        e
+    }
+
+    /// The satellite regression this PR's counter exists for: registration
+    /// cost must scale with the postings of the lists the query actually
+    /// probes, never with the window size the old eager scan paid.
+    #[test]
+    fn registration_cost_scales_with_probed_postings_not_window_size() {
+        let hits = 8u64;
+        let mut small = filtered_window(7, hits, 100);
+        let mut large = filtered_window(7, hits, 400);
+        assert_eq!(small.register_postings_touched(), 0);
+        small.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 2));
+        large.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 2));
+        assert_eq!(
+            small.register_postings_touched(),
+            hits,
+            "registration filed more postings than the term occurs"
+        );
+        assert_eq!(
+            small.register_postings_touched(),
+            large.register_postings_touched(),
+            "registration cost moved with window size"
+        );
+    }
+
+    #[test]
+    fn a_burst_of_same_term_queries_backfills_the_list_once() {
+        let hits = 8u64;
+        let mut e = filtered_window(7, hits, 100);
+        let queries: Vec<ContinuousQuery> = (1..=20)
+            .map(|k| ContinuousQuery::from_weights([(TermId(7), 1.0)], (k % 3) + 1))
+            .collect();
+        let ids = e.register_batch(queries);
+        assert_eq!(ids.len(), 20);
+        // One sorted merge serves the whole burst: the cost is one list's
+        // postings, not 20 of them.
+        assert_eq!(e.register_postings_touched(), hits);
+        // And the loop path agrees — the second and later registrations find
+        // the term already live and file nothing.
+        let mut looped = filtered_window(7, hits, 100);
+        for k in 1..=20u32 {
+            looped.register(ContinuousQuery::from_weights(
+                [(TermId(7), 1.0)],
+                ((k % 3) + 1) as usize,
+            ));
+        }
+        assert_eq!(looped.register_postings_touched(), hits);
+    }
+
+    /// Lazy registration makes migration free of window scans: terms go cold
+    /// on install and are only backfilled when a probe actually needs them —
+    /// and a same-term registration elsewhere counts as such a probe.
+    #[test]
+    fn lazy_migration_defers_the_backfill_until_first_probe() {
+        let hits = 6u64;
+        let mut source = filtered_window(7, hits, 60);
+        let q = source.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 2));
+        let expected = source.current_results(q);
+        let migration = source.extract_query(q).expect("query is live");
+
+        // Same stream, so the target mirrors the source window (the
+        // precondition `install_query` documents) — but no query ever made
+        // term 7 live here.
+        let mut target = filtered_window(7, hits, 60);
+        let before = target.register_postings_touched();
+        target.install_query(q, migration);
+        assert!(target.num_cold_terms() > 0, "install should go cold");
+        assert_eq!(
+            target.register_postings_touched(),
+            before,
+            "install must not scan the window"
+        );
+        // The migrated query answers from its carried result set even while
+        // its terms are cold…
+        assert_eq!(target.current_results(q), expected);
+        // …and the first probe (here: another registration sharing the term)
+        // warms the list, exactly.
+        target.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 1));
+        assert_eq!(target.num_cold_terms(), 0);
+        assert_eq!(target.register_postings_touched(), before + hits);
+        assert_eq!(target.current_results(q), expected);
+    }
+
+    /// The eager foil: with `lazy_registration` off, install pays its window
+    /// scan immediately (the pre-§9 behaviour the ablation bench prices).
+    #[test]
+    fn eager_migration_backfills_on_install() {
+        let hits = 6u64;
+        let eager = ItaConfig {
+            lazy_registration: false,
+            ..ItaConfig::default()
+        };
+        let mut source = ItaEngine::term_filtered(SlidingWindow::count_based(100), eager);
+        for i in 0..40u64 {
+            if i % 7 == 0 {
+                source.process_document(doc(i, &[(7, 0.3)]));
+            } else {
+                source.process_document(doc(i, &[(1000 + (i % 5) as u32, 0.5)]));
+            }
+        }
+        let q = source.register(ContinuousQuery::from_weights([(TermId(7), 1.0)], 2));
+        let migration = source.extract_query(q).expect("query is live");
+        let mut target = ItaEngine::term_filtered(SlidingWindow::count_based(100), eager);
+        for i in 0..40u64 {
+            if i % 7 == 0 {
+                target.process_document(doc(i, &[(7, 0.3)]));
+            } else {
+                target.process_document(doc(i, &[(1000 + (i % 5) as u32, 0.5)]));
+            }
+        }
+        target.install_query(q, migration);
+        assert_eq!(target.num_cold_terms(), 0);
+        assert_eq!(target.register_postings_touched(), hits);
     }
 }

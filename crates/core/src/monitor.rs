@@ -30,10 +30,13 @@ pub struct ProcessingStats {
     /// Total wall-clock time spent inside `process_document` /
     /// `process_batch`.
     pub total_time: Duration,
-    /// The most expensive single event. Only individually-timed events
-    /// contribute: batches are timed as a whole (see
-    /// [`ProcessingStats::record_batch`]), so their per-event maxima are
-    /// unknown and tracked as [`ProcessingStats::max_batch_time`] instead.
+    /// The most expensive single event. Individually-timed events always
+    /// contribute; batches contribute when the engine times its batched
+    /// events internally and surfaces the in-batch maximum (the sharded
+    /// engine's workers do — see [`crate::Engine::batched_max_event_time`]
+    /// and the `max_event` parameter of [`ProcessingStats::record_batch`]).
+    /// Whole-batch wall clock is tracked separately as
+    /// [`ProcessingStats::max_batch_time`].
     pub max_event_time: Duration,
     /// Number of [`crate::Engine::process_batch`] calls recorded (singleton
     /// batches are recorded through the per-event path and do not count).
@@ -60,11 +63,19 @@ impl ProcessingStats {
 
     /// Folds one batch's outcomes and its whole-batch duration into the
     /// totals. Counters sum exactly as if each event had been recorded
-    /// individually; the only information a batch loses is the per-event
-    /// timing split, so `elapsed` goes to `total_time` (keeping
+    /// individually; `elapsed` goes to `total_time` (keeping
     /// [`ProcessingStats::mean_event_time`] exact) and to the batch-level
-    /// maximum rather than `max_event_time`.
-    pub fn record_batch(&mut self, outcomes: &[EventOutcome], elapsed: Duration) {
+    /// maximum. `max_event` is the most expensive single event *within* the
+    /// batch when the engine timed its batched events internally (see
+    /// [`crate::Engine::batched_max_event_time`]); it folds into
+    /// `max_event_time` via max, so pass [`Duration::ZERO`] when the split is
+    /// unknown and the field is simply left alone.
+    pub fn record_batch(
+        &mut self,
+        outcomes: &[EventOutcome],
+        elapsed: Duration,
+        max_event: Duration,
+    ) {
         self.events += outcomes.len() as u64;
         for outcome in outcomes {
             self.expirations += outcome.expired as u64;
@@ -73,6 +84,9 @@ impl ProcessingStats {
             self.results_changed += outcome.results_changed as u64;
         }
         self.total_time += elapsed;
+        if max_event > self.max_event_time {
+            self.max_event_time = max_event;
+        }
         self.batches += 1;
         self.largest_batch = self.largest_batch.max(outcomes.len() as u64);
         if elapsed > self.max_batch_time {
@@ -248,9 +262,8 @@ impl<E: Engine> Monitor<E> {
                 stats.record(&outcome, start.elapsed());
                 continue;
             }
-            let start = Instant::now();
-            let outcomes = self.engine.process_batch(std::mem::take(&mut buffer));
-            stats.record_batch(&outcomes, start.elapsed());
+            let (outcomes, elapsed, in_batch_max) = self.timed_batch(std::mem::take(&mut buffer));
+            stats.record_batch(&outcomes, elapsed, in_batch_max);
             buffer = Vec::with_capacity(batch);
         }
         self.stats.absorb(&stats);
@@ -261,11 +274,46 @@ impl<E: Engine> Monitor<E> {
     pub fn reset_stats(&mut self) {
         self.stats = ProcessingStats::default();
     }
+
+    /// Times one [`Engine::process_batch`] call, returning the outcomes, the
+    /// whole-batch wall clock, and the most expensive single event *within*
+    /// this batch when the engine surfaces one.
+    ///
+    /// The engine only reports a *cumulative* per-event maximum
+    /// ([`Engine::batched_max_event_time`]), so the batch's own maximum is
+    /// recovered by snapshotting around the call: if the cumulative maximum
+    /// grew, an event in this batch set it and the new value is exactly this
+    /// batch's maximum; if it did not, this batch's maximum is unknown but
+    /// cannot exceed what `max_event_time` already holds, so reporting ZERO
+    /// keeps the fold exact.
+    fn timed_batch(&mut self, docs: Vec<Document>) -> (Vec<EventOutcome>, Duration, Duration) {
+        let before = self
+            .engine
+            .batched_max_event_time()
+            .unwrap_or(Duration::ZERO);
+        let start = Instant::now();
+        let outcomes = self.engine.process_batch(docs);
+        let elapsed = start.elapsed();
+        let after = self
+            .engine
+            .batched_max_event_time()
+            .unwrap_or(Duration::ZERO);
+        let in_batch_max = if after > before {
+            after
+        } else {
+            Duration::ZERO
+        };
+        (outcomes, elapsed, in_batch_max)
+    }
 }
 
 impl<E: Engine> Engine for Monitor<E> {
     fn register(&mut self, query: ContinuousQuery) -> QueryId {
         self.engine.register(query)
+    }
+
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        self.engine.register_batch(queries)
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
@@ -292,9 +340,8 @@ impl<E: Engine> Engine for Monitor<E> {
             let doc = docs.into_iter().next().expect("len checked");
             return vec![self.process_document(doc)];
         }
-        let start = Instant::now();
-        let outcomes = self.engine.process_batch(docs);
-        self.stats.record_batch(&outcomes, start.elapsed());
+        let (outcomes, elapsed, in_batch_max) = self.timed_batch(docs);
+        self.stats.record_batch(&outcomes, elapsed, in_batch_max);
         outcomes
     }
 
@@ -316,6 +363,10 @@ impl<E: Engine> Engine for Monitor<E> {
 
     fn name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    fn batched_max_event_time(&self) -> Option<Duration> {
+        self.engine.batched_max_event_time()
     }
 }
 
@@ -493,7 +544,11 @@ mod tests {
             singles.record(o, Duration::from_nanos(20));
         }
         let mut batched = ProcessingStats::default();
-        batched.record_batch(&outcomes, Duration::from_nanos(100));
+        batched.record_batch(
+            &outcomes,
+            Duration::from_nanos(100),
+            Duration::from_nanos(40),
+        );
         // Same counters, same total time; only the per-event/batch timing
         // split differs.
         assert_eq!(batched.events, singles.events);
@@ -508,15 +563,24 @@ mod tests {
         assert_eq!(batched.batches, 1);
         assert_eq!(batched.largest_batch, 5);
         assert_eq!(batched.max_batch_time, Duration::from_nanos(100));
-        assert_eq!(batched.max_event_time, Duration::ZERO);
+        // The engine-reported in-batch maximum lands in max_event_time …
+        assert_eq!(batched.max_event_time, Duration::from_nanos(40));
+        // … and a ZERO (split unknown) leaves it untouched.
+        batched.record_batch(&outcomes, Duration::from_nanos(50), Duration::ZERO);
+        assert_eq!(batched.max_event_time, Duration::from_nanos(40));
         // Batch bookkeeping merges through absorb: totals add, maxima max.
         let mut merged = batched;
         let mut more = ProcessingStats::default();
-        more.record_batch(&outcomes[..2], Duration::from_nanos(300));
+        more.record_batch(
+            &outcomes[..2],
+            Duration::from_nanos(300),
+            Duration::from_nanos(90),
+        );
         merged.absorb(&more);
-        assert_eq!(merged.batches, 2);
+        assert_eq!(merged.batches, 3);
         assert_eq!(merged.largest_batch, 5);
         assert_eq!(merged.max_batch_time, Duration::from_nanos(300));
+        assert_eq!(merged.max_event_time, Duration::from_nanos(90));
     }
 
     #[test]

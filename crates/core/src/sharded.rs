@@ -74,7 +74,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cts_index::{Document, IndexStats, QueryId, SlidingWindow, Timestamp};
 
@@ -88,6 +88,12 @@ use crate::result::RankedDocument;
 enum ShardRequest {
     /// Register `query` under the globally assigned id (synchronous).
     Register(QueryId, ContinuousQuery),
+    /// Register a whole burst of queries, each under its globally assigned
+    /// id, in one round-trip (synchronous). The shard brings all of the
+    /// burst's newly-live shadow terms up in a single window merge
+    /// ([`ItaEngine::register_batch_with_ids`]) instead of one backfill scan
+    /// per query.
+    RegisterBatch(Vec<(QueryId, ContinuousQuery)>),
     /// Remove a query (synchronous; replies whether it existed).
     Deregister(QueryId),
     /// Process one fanned-out stream event (synchronous; replies with the
@@ -123,7 +129,10 @@ enum ShardReply {
     Registered,
     Deregistered(bool),
     Processed(EventOutcome),
-    ProcessedBatch(Vec<EventOutcome>),
+    /// The per-document outcomes plus the most expensive single event of the
+    /// batch as timed by this worker — the coordinator folds the maxima so
+    /// batch-fed monitors still learn a true per-event maximum.
+    ProcessedBatch(Vec<EventOutcome>, Duration),
     Extracted(Option<Box<QueryMigration>>),
     Installed,
     Results(Vec<RankedDocument>),
@@ -150,6 +159,10 @@ fn worker_loop(
                 shard.register_with_id(qid, query);
                 ShardReply::Registered
             }
+            ShardRequest::RegisterBatch(batch) => {
+                shard.register_batch_with_ids(batch);
+                ShardReply::Registered
+            }
             ShardRequest::Deregister(qid) => ShardReply::Deregistered(shard.deregister(qid)),
             ShardRequest::Process(doc) => {
                 let start = Instant::now();
@@ -162,16 +175,19 @@ fn worker_loop(
                 // still processes and times each event individually, so the
                 // outcomes and the per-worker stats are exactly the
                 // per-event loop's.
+                let mut max_event = Duration::ZERO;
                 let outcomes = docs
                     .iter()
                     .map(|doc| {
                         let start = Instant::now();
                         let outcome = shard.process_shared(Arc::clone(doc));
-                        stats.record(&outcome, start.elapsed());
+                        let elapsed = start.elapsed();
+                        max_event = max_event.max(elapsed);
+                        stats.record(&outcome, elapsed);
                         outcome
                     })
                     .collect();
-                ShardReply::ProcessedBatch(outcomes)
+                ShardReply::ProcessedBatch(outcomes, max_event)
             }
             ShardRequest::Extract(qid) => {
                 ShardReply::Extracted(shard.extract_query(qid).map(Box::new))
@@ -277,6 +293,11 @@ pub struct ShardedItaEngine {
     placement: Vec<Vec<QueryId>>,
     /// Total queries migrated by the rebalancer since construction.
     migrations: u64,
+    /// Most expensive single event seen inside any processed batch, as timed
+    /// by the workers (max over shards and batches). This is what
+    /// [`Engine::batched_max_event_time`] reports; cleared by
+    /// [`ShardedItaEngine::reset_shard_stats`].
+    batched_max_event: Duration,
     num_queries: usize,
     next_query: u32,
     clock: Timestamp,
@@ -350,6 +371,7 @@ impl ShardedItaEngine {
             assignment: HashMap::new(),
             placement: vec![Vec::new(); shards],
             migrations: 0,
+            batched_max_event: Duration::ZERO,
             num_queries: 0,
             next_query: 0,
             clock: Timestamp::ZERO,
@@ -488,6 +510,7 @@ impl ShardedItaEngine {
             |reply| matches!(reply, ShardReply::StatsReset),
         );
         assert!(acks.iter().all(|ok| *ok), "shard replied out of order");
+        self.batched_max_event = Duration::ZERO;
     }
 
     /// The exact aggregate of every worker's processing statistics, merged
@@ -601,6 +624,57 @@ impl Engine for ShardedItaEngine {
         qid
     }
 
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // Mint ids exactly as the per-query loop would, group by initial
+        // placement, then register each shard's whole group in ONE
+        // round-trip. The requests are sent before any reply is awaited, so
+        // the shards run their (window-sized) registration merges in
+        // parallel.
+        let shards = self.requests.len();
+        let mut per_shard: Vec<Vec<(QueryId, ContinuousQuery)>> = vec![Vec::new(); shards];
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in queries {
+            let qid = QueryId(self.next_query);
+            self.next_query += 1;
+            per_shard[self.shard_of(qid)].push((qid, query));
+            ids.push(qid);
+        }
+        let mut pending = Vec::new();
+        for (shard, group) in per_shard.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            for (qid, _) in group.iter() {
+                self.assignment.insert(*qid, shard);
+                self.placement[shard].push(*qid);
+                self.num_queries += 1;
+            }
+            let group = std::mem::take(group);
+            if self.requests[shard]
+                .send(ShardRequest::RegisterBatch(group))
+                .is_err()
+            {
+                self.shard_died(shard);
+            }
+            pending.push(shard);
+        }
+        for shard in pending {
+            match self.replies[shard].recv() {
+                Ok(ShardReply::Registered) => {}
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(_) => self.shard_died(shard),
+            }
+        }
+        // One balance check for the whole burst: rebalancing is
+        // outcome-invisible (migration is behaviour-preserving), so checking
+        // once here instead of after every query changes placement only.
+        self.maybe_rebalance();
+        ids
+    }
+
     fn deregister(&mut self, query: QueryId) -> bool {
         let Some(shard) = self.assigned_shard(query) else {
             return false;
@@ -647,13 +721,18 @@ impl Engine for ShardedItaEngine {
         }
         self.clock = docs.last().expect("batch is non-empty").arrival;
         let docs: Arc<[Arc<Document>]> = docs.into_iter().map(Arc::new).collect();
+        let mut batch_max = Duration::ZERO;
         let per_shard = self.broadcast_collect(
             || ShardRequest::ProcessBatch(Arc::clone(&docs)),
             |reply| match reply {
-                ShardReply::ProcessedBatch(outcomes) => outcomes,
+                ShardReply::ProcessedBatch(outcomes, max_event) => {
+                    batch_max = batch_max.max(max_event);
+                    outcomes
+                }
                 _ => unreachable!("shard replied out of order"),
             },
         );
+        self.batched_max_event = self.batched_max_event.max(batch_max);
         let mut per_shard = per_shard.into_iter();
         let mut merged = per_shard.next().expect("at least one shard");
         for outcomes in per_shard {
@@ -696,6 +775,10 @@ impl Engine for ShardedItaEngine {
 
     fn name(&self) -> &'static str {
         "sharded-ita"
+    }
+
+    fn batched_max_event_time(&self) -> Option<Duration> {
+        Some(self.batched_max_event)
     }
 }
 

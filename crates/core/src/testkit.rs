@@ -97,6 +97,11 @@ impl ScriptRng {
 pub enum Op {
     /// Register this query on every engine (ids must come out identical).
     Register(ContinuousQuery),
+    /// Register a whole burst through [`Engine::register_batch`] (the id
+    /// *vectors* must come out identical). Pairing a bulk-registering engine
+    /// against a [`LoopRegister`]-wrapped twin turns this op into the
+    /// bulk-vs-loop registration differential.
+    RegisterBurst(Vec<ContinuousQuery>),
     /// Deregister the live query at `victim % live.len()` (skipped while no
     /// query is live). Indexing into the live list instead of naming a
     /// `QueryId` keeps scripts valid under minimization: removing an earlier
@@ -133,6 +138,14 @@ impl fmt::Display for Op {
             Op::Register(query) => {
                 write!(f, "register k={} ", query.k())?;
                 write_composition(f, query.weights())
+            }
+            Op::RegisterBurst(queries) => {
+                write!(f, "register_burst x{}:", queries.len())?;
+                for query in queries {
+                    write!(f, "\n    k={} ", query.k())?;
+                    write_composition(f, query.weights())?;
+                }
+                Ok(())
             }
             Op::Deregister { victim } => write!(f, "deregister victim%{victim}"),
             Op::Feed(doc) => {
@@ -219,6 +232,12 @@ pub struct ScriptConfig {
     pub events: usize,
     /// Per-op probability of registering another query mid-stream.
     pub register_probability: f64,
+    /// Per-op probability of registering a whole burst of queries through
+    /// [`Engine::register_batch`] mid-stream.
+    pub burst_register_probability: f64,
+    /// Largest registration burst generated (at least 2 when bursts are
+    /// enabled).
+    pub max_burst_registers: usize,
     /// Per-op probability of deregistering a live query mid-stream.
     pub deregister_probability: f64,
     /// Probability that a chunk of events ships as one [`Op::FeedBatch`].
@@ -245,6 +264,8 @@ impl Default for ScriptConfig {
             initial_queries: 3,
             events: 320,
             register_probability: 0.10,
+            burst_register_probability: 0.0,
+            max_burst_registers: 8,
             deregister_probability: 0.05,
             batch_probability: 0.0,
             max_batch: 16,
@@ -263,6 +284,23 @@ impl ScriptConfig {
     pub fn batched() -> Self {
         Self {
             batch_probability: 0.5,
+            ..Self::default()
+        }
+    }
+
+    /// The registration-heavy shape: frequent single registrations, frequent
+    /// [`Op::RegisterBurst`]s, aggressive deregistration and a batched
+    /// stream. This is the axis that exercises bulk registration, the
+    /// cold→warm shadow-list lifecycle (every burst mints cold terms a later
+    /// event must warm) and list retirement under churn, all at once.
+    pub fn churn_storm() -> Self {
+        Self {
+            initial_queries: 6,
+            register_probability: 0.15,
+            burst_register_probability: 0.12,
+            max_burst_registers: 12,
+            deregister_probability: 0.12,
+            batch_probability: 0.35,
             ..Self::default()
         }
     }
@@ -319,6 +357,12 @@ pub fn generate_script(config: &ScriptConfig, seed: u64) -> OpScript {
         if rng.chance(config.register_probability) {
             script.push(Op::Register(random_query(&mut rng, config)));
         }
+        if rng.chance(config.burst_register_probability) {
+            let size = rng.range(2, config.max_burst_registers.max(2) + 1);
+            let queries: Vec<ContinuousQuery> =
+                (0..size).map(|_| random_query(&mut rng, config)).collect();
+            script.push(Op::RegisterBurst(queries));
+        }
         if rng.chance(config.deregister_probability) {
             script.push(Op::Deregister {
                 victim: rng.below(64),
@@ -338,6 +382,63 @@ pub fn generate_script(config: &ScriptConfig, seed: u64) -> OpScript {
         }
     }
     script
+}
+
+/// An [`Engine`] adapter that forwards everything except
+/// [`Engine::register_batch`], which it pins to the one-query-at-a-time
+/// loop (the trait's default). Pairing an engine with a
+/// `LoopRegister`-wrapped twin turns any script containing
+/// [`Op::RegisterBurst`] into a bulk-vs-loop registration differential:
+/// whatever shortcut the engine's bulk path takes (the ITA engine's single
+/// window merge, the sharded engine's one-round-trip fan-out) must remain
+/// byte-identical to the loop it replaces.
+#[derive(Debug, Clone)]
+pub struct LoopRegister<E>(pub E);
+
+impl<E: Engine> Engine for LoopRegister<E> {
+    fn register(&mut self, query: ContinuousQuery) -> QueryId {
+        self.0.register(query)
+    }
+
+    fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
+        queries.into_iter().map(|q| self.0.register(q)).collect()
+    }
+
+    fn deregister(&mut self, query: QueryId) -> bool {
+        self.0.deregister(query)
+    }
+
+    fn process_document(&mut self, doc: Document) -> crate::EventOutcome {
+        self.0.process_document(doc)
+    }
+
+    fn process_batch(&mut self, docs: Vec<Document>) -> Vec<crate::EventOutcome> {
+        self.0.process_batch(docs)
+    }
+
+    fn current_results(&self, query: QueryId) -> Vec<crate::RankedDocument> {
+        self.0.current_results(query)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.0.num_queries()
+    }
+
+    fn num_valid_documents(&self) -> usize {
+        self.0.num_valid_documents()
+    }
+
+    fn clock(&self) -> Timestamp {
+        self.0.clock()
+    }
+
+    fn name(&self) -> &'static str {
+        "loop-register"
+    }
+
+    fn batched_max_event_time(&self) -> Option<std::time::Duration> {
+        self.0.batched_max_event_time()
+    }
 }
 
 /// Knobs of [`run_script`].
@@ -449,6 +550,24 @@ pub fn run_script<'e>(
                     }
                 }
                 live.push(expected);
+            }
+            Op::RegisterBurst(queries) => {
+                let expected = engines[0].register_batch(queries.clone());
+                for candidate in &mut engines[1..] {
+                    let actual = candidate.register_batch(queries.clone());
+                    if actual != expected {
+                        return Err(fail(format!(
+                            "burst query ids diverged: reference assigned {expected:?}, {} assigned {actual:?}",
+                            candidate.name()
+                        )));
+                    }
+                }
+                live.extend(&expected);
+                // Initial results are part of the byte-identical registration
+                // contract — check them right away rather than waiting for
+                // the next feed checkpoint, so a registration-path divergence
+                // is pinned to the burst that caused it.
+                check_results(engines, &expected, 1, op_index)?;
             }
             Op::Deregister { victim } => {
                 if live.is_empty() {
@@ -659,6 +778,39 @@ mod tests {
             ..ScriptConfig::batched()
         };
         assert_script_equivalence(&|| engines(3), &config, 0x7E57_0001);
+    }
+
+    #[test]
+    fn churn_storm_scripts_contain_registration_bursts() {
+        let config = ScriptConfig {
+            events: 120,
+            ..ScriptConfig::churn_storm()
+        };
+        let script = generate_script(&config, 0x7E57_0004);
+        let bursts: usize = script
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::RegisterBurst(_)))
+            .count();
+        assert!(bursts > 0, "churn storm generated no registration bursts");
+        assert!(script.to_string().contains("register_burst"));
+    }
+
+    #[test]
+    fn churn_storm_holds_across_bulk_loop_and_sharded_registration() {
+        let make: &dyn Fn() -> Vec<Box<dyn Engine>> = &|| {
+            let window = SlidingWindow::count_based(20);
+            vec![
+                Box::new(ItaEngine::new(window, ItaConfig::default())) as Box<dyn Engine>,
+                Box::new(LoopRegister(ItaEngine::new(window, ItaConfig::default()))),
+                Box::new(ShardedItaEngine::new(window, ItaConfig::default(), 3)),
+            ]
+        };
+        let config = ScriptConfig {
+            events: 120,
+            ..ScriptConfig::churn_storm()
+        };
+        assert_script_equivalence(make, &config, 0x7E57_0005);
     }
 
     #[test]

@@ -50,6 +50,27 @@ fn batched_fanout_matches_the_per_event_loop_across_shard_counts() {
     }
 }
 
+/// Registration bursts, event batches and churn all at once: the
+/// [`ScriptConfig::churn_storm`] axis over the usual reference/sharded pair,
+/// with a tight window so bursts of *queries* and bursts of *events* overlap
+/// with mid-batch expiry.
+#[test]
+fn churn_storm_bursts_and_batches_hold_across_shard_counts() {
+    let config = ScriptConfig {
+        events: 240,
+        max_batch: 24,
+        ..ScriptConfig::churn_storm()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        let window = SlidingWindow::count_based(16);
+        assert_script_equivalence(
+            &|| pair(window, shards),
+            &config,
+            0xBA7C_3000 + shards as u64,
+        );
+    }
+}
+
 #[test]
 fn time_windows_expire_mid_batch_identically() {
     let config = ScriptConfig {
@@ -78,6 +99,7 @@ fn sharded_batches_equal_sharded_singles_on_the_same_stream() {
         events: 200,
         max_batch: 20,
         register_probability: 0.1,
+        burst_register_probability: 0.1,
         deregister_probability: 0.06,
         ..ScriptConfig::batched()
     };
@@ -94,6 +116,12 @@ fn sharded_batches_equal_sharded_singles_on_the_same_stream() {
                     let qb = singles.register(query.clone());
                     assert_eq!(qa, qb, "op {i}: ids diverged");
                     live.push(qa);
+                }
+                Op::RegisterBurst(queries) => {
+                    let qa = batched.register_batch(queries.clone());
+                    let qb = singles.register_batch(queries.clone());
+                    assert_eq!(qa, qb, "op {i}: burst ids diverged");
+                    live.extend(qa);
                 }
                 Op::Deregister { victim } => {
                     if live.is_empty() {

@@ -174,6 +174,7 @@ fn ita_without_rollup_still_matches_the_oracle() {
         window,
         ItaConfig {
             enable_rollup: false,
+            ..ItaConfig::default()
         },
     );
     let mut oracle = BruteForceOracle::new(window);

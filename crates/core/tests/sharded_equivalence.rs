@@ -18,7 +18,7 @@
 
 use std::time::Duration;
 
-use cts_core::testkit::{assert_script_equivalence, ScriptConfig};
+use cts_core::testkit::{assert_script_equivalence, LoopRegister, ScriptConfig};
 use cts_core::{Engine, ItaConfig, ItaEngine, RebalanceConfig, ShardedItaEngine};
 use cts_index::SlidingWindow;
 
@@ -130,6 +130,61 @@ fn sharded_matches_single_shard_with_heavy_query_churn() {
             &|| pair(window, shards),
             &config,
             0x5EED_2000 + shards as u64,
+        );
+    }
+}
+
+/// The registration-heavy axis: [`ScriptConfig::churn_storm`] scripts mix
+/// [`cts_core::testkit::Op::RegisterBurst`]s into the churn, and the engine
+/// set pits every registration strategy against the lazy reference at once —
+/// eager backfill (`lazy_registration: false`), a [`LoopRegister`]-pinned
+/// twin (bulk path disabled) and the sharded engine's one-round-trip-per-
+/// shard burst fan-out. Bulk merge, cold→warm shadow-list promotion and the
+/// per-shard burst protocol must all be byte-invisible.
+fn churn_storm_engines(window: SlidingWindow, shards: usize) -> Vec<Box<dyn Engine>> {
+    let eager = ItaConfig {
+        lazy_registration: false,
+        ..ItaConfig::default()
+    };
+    vec![
+        Box::new(ItaEngine::new(window, ItaConfig::default())),
+        Box::new(ItaEngine::new(window, eager)),
+        Box::new(LoopRegister(ItaEngine::new(window, ItaConfig::default()))),
+        Box::new(ShardedItaEngine::new(window, ItaConfig::default(), shards)),
+    ]
+}
+
+#[test]
+fn churn_storm_registration_bursts_hold_across_shard_counts() {
+    let config = ScriptConfig {
+        events: 260,
+        ..ScriptConfig::churn_storm()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        let window = SlidingWindow::count_based(24);
+        assert_script_equivalence(
+            &|| churn_storm_engines(window, shards),
+            &config,
+            0x5EED_5000 + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn churn_storm_survives_eager_migration() {
+    // Registration bursts land whole shard-groups of fresh queries at once —
+    // exactly the imbalance a trigger-at-uniform-share rebalancer pounces
+    // on, so bursts and migrations interleave densely here.
+    let config = ScriptConfig {
+        events: 240,
+        ..ScriptConfig::churn_storm()
+    };
+    for shards in [2usize, 4] {
+        let window = SlidingWindow::count_based(20);
+        assert_script_equivalence(
+            &|| eager_rebalance_pair(window, shards),
+            &config,
+            0x5EED_6000 + shards as u64,
         );
     }
 }

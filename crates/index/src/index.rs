@@ -22,7 +22,22 @@
 //! [`InvertedIndex::backfill_term`] rebuilds that one list from the store in
 //! arrival order, and [`InvertedIndex::drop_list`] retires a list once the
 //! last referencing query deregisters.
+//!
+//! Backfilling eagerly on every registration is the *registration cliff*:
+//! each register pays a full window scan even when the query's lists are
+//! never probed before the next churn event (DESIGN.md §9). The index
+//! therefore supports **cold** terms: [`InvertedIndex::mark_cold`] records
+//! that a term is live in the caller's filter without building its list,
+//! [`InvertedIndex::probe_shared`] answers a one-off read from the
+//! `Arc`-shared window without materialising anything, and
+//! [`InvertedIndex::materialise_terms`] promotes cold terms to private
+//! segmented lists on first real touch — in one store pass for the whole
+//! batch. While a term is cold the store remains the single source of truth:
+//! arrivals skip filing it ([`InvertedIndex::insert_shared_filtered`]) and
+//! expirations have no list to clean, so a later materialisation over the
+//! current store yields exactly the postings an always-warm list would hold.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -31,14 +46,29 @@ use cts_text::TermId;
 
 use crate::arena::TermArena;
 use crate::document::{DocId, Document};
+use crate::posting::Posting;
 use crate::store::DocumentStore;
 use crate::InvertedList;
+
+/// Above this many terms, a backfill pass walks each document's composition
+/// list once and binary-searches the requested term set, instead of running
+/// one composition binary search per (document, term) pair. Bulk (batch
+/// registration) backfills bring hundreds of terms live at once; the per-term
+/// strategy would multiply the window scan by the term count.
+const BACKFILL_DIRECTORY_THRESHOLD: usize = 8;
 
 /// The streaming inverted index over the valid documents.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     store: DocumentStore,
     lists: TermArena<InvertedList>,
+    /// Terms live in the owner's filter but intentionally without a private
+    /// list yet — served from the shared store until first touch.
+    cold: HashSet<TermId>,
+    /// Impact entries filed by registration-path backfills (satellite
+    /// regression counter: must scale with the probed lists, never with the
+    /// window × registration count product of the old eager path).
+    register_postings_touched: u64,
 }
 
 impl InvertedIndex {
@@ -53,6 +83,8 @@ impl InvertedIndex {
         Self {
             store: DocumentStore::with_capacity(docs),
             lists: TermArena::with_capacity(docs.saturating_mul(terms_per_doc) / 4),
+            cold: HashSet::new(),
+            register_postings_touched: 0,
         }
     }
 
@@ -85,8 +117,13 @@ impl InvertedIndex {
         doc: Arc<Document>,
         mut allow: impl FnMut(TermId) -> bool,
     ) {
+        // Cold terms are allowed by the filter but must stay unmaterialised:
+        // filing only post-registration arrivals would leave a partial list
+        // that a later materialisation would double-count. The `is_empty`
+        // check keeps the fully-warm hot path a single branch.
+        let any_cold = !self.cold.is_empty();
         for entry in doc.composition.as_slice() {
-            if allow(entry.term) {
+            if allow(entry.term) && !(any_cold && self.cold.contains(&entry.term)) {
                 self.lists
                     .get_or_default(entry.term)
                     .insert(doc.id, entry.weight);
@@ -129,6 +166,10 @@ impl InvertedIndex {
                 "backfill of {term} would duplicate an existing list"
             );
             assert!(
+                !self.cold.contains(term),
+                "backfill of cold {term} without clearing its cold mark"
+            );
+            assert!(
                 !terms[..i].contains(term),
                 "backfill of {term} requested twice"
             );
@@ -136,17 +177,37 @@ impl InvertedIndex {
         // One traversal of the (window-sized) store collects every term's
         // postings; the store is iterated immutably while the lists are
         // built, so the postings are buffered first — a backfill is a rare
-        // (per-register) event and the allocation is proportional to the
-        // rebuilt lists.
+        // (per-registration-batch) event and the allocation is proportional
+        // to the rebuilt lists.
         let mut postings: Vec<Vec<(DocId, cts_text::Weight)>> = vec![Vec::new(); terms.len()];
-        for doc in self.store.iter() {
-            for (slot, term) in terms.iter().enumerate() {
-                // One binary search per (doc, term): composition weights are
-                // strictly positive by construction, so a zero impact means
-                // the term is absent.
-                let weight = doc.composition.impact(*term);
-                if weight > cts_text::Weight::ZERO {
-                    postings[slot].push((doc.id, weight));
+        if terms.len() <= BACKFILL_DIRECTORY_THRESHOLD {
+            for doc in self.store.iter() {
+                for (slot, term) in terms.iter().enumerate() {
+                    // One binary search per (doc, term): composition weights
+                    // are strictly positive by construction, so a zero impact
+                    // means the term is absent.
+                    let weight = doc.composition.impact(*term);
+                    if weight > cts_text::Weight::ZERO {
+                        postings[slot].push((doc.id, weight));
+                    }
+                }
+            }
+        } else {
+            // Bulk path: walk each composition list once and binary-search a
+            // sorted term → slot directory, so the pass costs
+            // O(window · doc_len · log terms) instead of
+            // O(window · terms · log doc_len).
+            let mut directory: Vec<(TermId, usize)> = terms
+                .iter()
+                .enumerate()
+                .map(|(slot, t)| (*t, slot))
+                .collect();
+            directory.sort_unstable_by_key(|(t, _)| *t);
+            for doc in self.store.iter() {
+                for entry in doc.composition.as_slice() {
+                    if let Ok(i) = directory.binary_search_by_key(&entry.term, |(t, _)| *t) {
+                        postings[directory[i].1].push((doc.id, entry.weight));
+                    }
                 }
             }
         }
@@ -161,14 +222,104 @@ impl InvertedIndex {
                 filed += 1;
             }
         }
+        self.register_postings_touched += filed as u64;
         filed
+    }
+
+    /// Marks `term` **cold**: live in the caller's term filter, but with its
+    /// private list deliberately not built. Arrivals skip filing the term and
+    /// expirations find nothing to clean, so the shared store stays the
+    /// single source of truth until [`InvertedIndex::materialise_terms`] (or
+    /// a direct [`InvertedIndex::probe_shared`]) reads it. Marking an
+    /// already-cold term is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty list for `term` exists — a term cannot be both
+    /// warm and cold, so the caller's bookkeeping is corrupt.
+    pub fn mark_cold(&mut self, term: TermId) {
+        assert!(
+            self.lists.get(term).is_none_or(|list| list.is_empty()),
+            "cannot mark {term} cold: a live list exists"
+        );
+        self.cold.insert(term);
+    }
+
+    /// Whether `term` is currently marked cold.
+    pub fn is_cold(&self, term: TermId) -> bool {
+        self.cold.contains(&term)
+    }
+
+    /// Number of currently cold terms (0 means every live term is warm and
+    /// the arrival path runs exactly as before lazy registration existed).
+    pub fn num_cold(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// The currently cold terms, in unspecified order — for batch-idle
+    /// materialisation sweeps.
+    pub fn cold_terms(&self) -> Vec<TermId> {
+        self.cold.iter().copied().collect()
+    }
+
+    /// Read-only probe of `term` against the `Arc`-shared window: the impact
+    /// entries a private list would hold right now, in list order
+    /// (decreasing weight, ties by increasing document id). This is how a
+    /// cold term's *first* read can be served without mutating the index; it
+    /// works identically for warm or unfiltered terms (and is differentially
+    /// tested against the maintained lists).
+    pub fn probe_shared(&self, term: TermId) -> Vec<Posting> {
+        let mut postings: Vec<Posting> = self
+            .store
+            .iter()
+            .filter_map(|doc| {
+                let weight = doc.composition.impact(term);
+                (weight > cts_text::Weight::ZERO).then(|| Posting::new(doc.id, weight))
+            })
+            .collect();
+        postings.sort_unstable_by(|a, b| a.rank(b));
+        postings
+    }
+
+    /// Promotes every currently-cold term in `terms` to a private list, in
+    /// **one pass over the store** regardless of how many terms the batch
+    /// brings. Terms that are not cold (already warm, or never marked) are
+    /// skipped, so materialisation is idempotent. Returns the number of
+    /// postings filed.
+    pub fn materialise_terms(&mut self, terms: &[TermId]) -> usize {
+        let mut promoted: Vec<TermId> = Vec::new();
+        for term in terms {
+            // `remove` both filters to cold terms and dedups repeats.
+            if self.cold.remove(term) {
+                promoted.push(*term);
+            }
+        }
+        if promoted.is_empty() {
+            0
+        } else {
+            self.backfill_terms(&promoted)
+        }
+    }
+
+    /// Impact entries filed by registration-path backfills so far (monotone).
+    ///
+    /// The registration-cost regression tests pin this to the size of the
+    /// lists actually probed: re-registering shared terms must add nothing,
+    /// and growing the window with documents that do not contain a query's
+    /// terms must not grow the counter.
+    pub fn register_postings_touched(&self) -> u64 {
+        self.register_postings_touched
     }
 
     /// Drops the inverted list for `term` entirely (the stored documents are
     /// untouched). Used by filtered shadow indexes when the last query
-    /// referencing `term` deregisters. Returns `true` if a list existed.
+    /// referencing `term` deregisters. A cold `term` just sheds its cold
+    /// mark — deregistering a never-probed term must not trigger the
+    /// materialisation it existed to avoid. Returns `true` if a list or a
+    /// cold mark existed.
     pub fn drop_list(&mut self, term: TermId) -> bool {
-        self.lists.remove(term).is_some()
+        let was_cold = self.cold.remove(&term);
+        self.lists.remove(term).is_some() || was_cold
     }
 
     /// Removes the document with id `id` (normally the oldest, on expiration):
@@ -417,6 +568,107 @@ mod tests {
         // A later backfill restores exactly the dropped postings.
         assert_eq!(idx.backfill_term(TermId(7)), 1);
         assert_eq!(idx.list(TermId(7)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bulk_backfill_directory_path_matches_the_per_term_path() {
+        // More terms than BACKFILL_DIRECTORY_THRESHOLD forces the
+        // composition-walk strategy; both strategies must file identical
+        // lists.
+        let terms: Vec<TermId> = (0..12u32).map(TermId).collect();
+        let mut small = InvertedIndex::new();
+        let mut bulk = InvertedIndex::new();
+        for i in 0..40u64 {
+            let d = doc(
+                i,
+                &[
+                    ((i % 12) as u32, 0.1 + (i % 3) as f64 * 0.2),
+                    (((i + 5) % 12) as u32, 0.4),
+                ],
+            );
+            small.insert_shared_filtered(Arc::new(d.clone()), |_| false);
+            bulk.insert_shared_filtered(Arc::new(d), |_| false);
+        }
+        let mut filed_small = 0;
+        for chunk in terms.chunks(2) {
+            filed_small += small.backfill_terms(chunk);
+        }
+        let filed_bulk = bulk.backfill_terms(&terms);
+        assert_eq!(filed_small, filed_bulk);
+        for term in &terms {
+            let a: Vec<_> = small
+                .list(*term)
+                .map(|l| l.iter().collect())
+                .unwrap_or_default();
+            let b: Vec<_> = bulk
+                .list(*term)
+                .map(|l| l.iter().collect())
+                .unwrap_or_default();
+            assert_eq!(a, b, "lists diverge for {term}");
+        }
+        assert_eq!(small.register_postings_touched(), filed_small as u64);
+        assert_eq!(bulk.register_postings_touched(), filed_bulk as u64);
+    }
+
+    #[test]
+    fn cold_terms_are_skipped_by_arrivals_and_materialise_exactly() {
+        let mut full = InvertedIndex::new();
+        let mut shadow = InvertedIndex::new();
+        let t = TermId(7);
+        // Half the window arrives, the term goes cold (registered), the rest
+        // of the window arrives while cold, one document expires while cold.
+        for i in 0..4u64 {
+            let d = doc(i, &[(7, 0.1 + i as f64 * 0.1), (8, 0.2)]);
+            full.insert_document(d.clone());
+            shadow.insert_shared_filtered(Arc::new(d), |_| true);
+        }
+        shadow.drop_list(t); // simulate the term never having been live
+        shadow.mark_cold(t);
+        assert!(shadow.is_cold(t));
+        assert_eq!(shadow.num_cold(), 1);
+        assert_eq!(shadow.cold_terms(), vec![t]);
+        for i in 4..8u64 {
+            let d = doc(i, &[(7, 0.05 + i as f64 * 0.1)]);
+            full.insert_document(d.clone());
+            shadow.insert_shared_filtered(Arc::new(d), |_| true);
+        }
+        full.remove_document(DocId(1)).unwrap();
+        shadow.remove_document(DocId(1)).unwrap();
+        // While cold: no list, but the shared probe answers correctly.
+        assert!(shadow.list(t).is_none());
+        let reference: Vec<_> = full.list(t).unwrap().iter().collect();
+        assert_eq!(shadow.probe_shared(t), reference);
+        // Materialisation over the churned store equals the always-warm list.
+        shadow.materialise_terms(&[t]);
+        assert!(!shadow.is_cold(t));
+        let rebuilt: Vec<_> = shadow.list(t).unwrap().iter().collect();
+        assert_eq!(rebuilt, reference);
+        // Idempotent: a second materialisation files nothing.
+        let before = shadow.register_postings_touched();
+        assert_eq!(shadow.materialise_terms(&[t]), 0);
+        assert_eq!(shadow.register_postings_touched(), before);
+    }
+
+    #[test]
+    fn dropping_a_cold_term_never_materialises_it() {
+        let mut idx = InvertedIndex::new();
+        for i in 0..6u64 {
+            idx.insert_shared_filtered(Arc::new(doc(i, &[(3, 0.5)])), |_| false);
+        }
+        idx.mark_cold(TermId(3));
+        assert!(idx.drop_list(TermId(3)));
+        assert!(!idx.is_cold(TermId(3)));
+        assert!(idx.list(TermId(3)).is_none());
+        assert_eq!(idx.register_postings_touched(), 0);
+        assert!(!idx.drop_list(TermId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "a live list exists")]
+    fn marking_a_warm_term_cold_panics() {
+        let mut idx = InvertedIndex::new();
+        idx.insert_document(doc(1, &[(7, 0.3)]));
+        idx.mark_cold(TermId(7));
     }
 
     #[test]

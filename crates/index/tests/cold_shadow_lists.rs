@@ -1,0 +1,258 @@
+//! Cold→warm shadow-list lifecycle: a term-filtered [`InvertedIndex`] with
+//! *cold* terms (live in the owner's filter, but deliberately without a
+//! private list) must stay exactly equivalent to an always-live full index
+//! for every term, across arbitrary interleavings of arrivals, expirations,
+//! cold marks, shared-window probes, materialisations and deregistrations.
+//!
+//! This is the index-level half of the lazy-registration contract of
+//! DESIGN.md §9: the shared document store is the single source of truth
+//! while a term is cold, so the first probe ([`InvertedIndex::probe_shared`])
+//! and the eventual promotion ([`InvertedIndex::materialise_terms`]) must
+//! both reproduce, posting for posting, the list the full index maintained
+//! incrementally the whole time. Seeded randomness comes from
+//! [`cts_core::testkit::ScriptRng`], so every run reproduces from the `u64`
+//! seed baked into each test.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use cts_core::testkit::ScriptRng;
+use cts_index::{DocId, Document, InvertedIndex, Posting, Timestamp};
+use cts_text::{TermId, WeightedVector};
+
+/// Small vocabulary + discrete palette: dense term sharing and tie runs.
+const VOCABULARY: u32 = 12;
+
+fn random_doc(rng: &mut ScriptRng, id: u64) -> Arc<Document> {
+    let terms = rng.range(1, 5);
+    let weights = (0..terms).map(|_| {
+        (
+            TermId(rng.below(VOCABULARY as usize) as u32),
+            0.1 + rng.below(5) as f64 * 0.15,
+        )
+    });
+    Arc::new(Document::new(
+        DocId(id),
+        Timestamp::from_millis(id),
+        WeightedVector::from_weights(weights),
+    ))
+}
+
+fn postings(list: impl Iterator<Item = Posting>) -> Vec<(u64, u64)> {
+    list.map(|p| (p.doc.0, p.weight.get().to_bits())).collect()
+}
+
+/// What the full (unfiltered) reference index holds for `term`.
+fn reference_list(full: &InvertedIndex, term: TermId) -> Vec<(u64, u64)> {
+    full.list(term)
+        .map(|list| postings(list.iter()))
+        .unwrap_or_default()
+}
+
+/// A full/shadow pair driven through the same random stream. The shadow
+/// files only `live` terms and carries the cold set; the full index is the
+/// behavioural reference for every term.
+struct Pair {
+    full: InvertedIndex,
+    shadow: InvertedIndex,
+    live: HashSet<TermId>,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Self {
+            full: InvertedIndex::new(),
+            shadow: InvertedIndex::new(),
+            live: HashSet::new(),
+        }
+    }
+
+    fn arrive(&mut self, doc: Arc<Document>) {
+        self.full.insert_shared(doc.clone());
+        let live = self.live.clone();
+        self.shadow
+            .insert_shared_filtered(doc, |t| live.contains(&t));
+    }
+
+    fn expire_oldest(&mut self) {
+        if let Some(oldest) = self.full.store().oldest().map(|d| d.id) {
+            self.full.remove_document(oldest);
+            self.shadow.remove_document(oldest);
+        }
+    }
+
+    /// Brings `term` live *cold* (registration under lazy backfill).
+    fn go_cold(&mut self, term: TermId) {
+        if self.live.insert(term) {
+            self.shadow.mark_cold(term);
+        }
+    }
+
+    /// Asserts the shadow serves `term` exactly like the reference — via the
+    /// shared-window probe while cold, via the private list once warm.
+    fn assert_term_agrees(&self, term: TermId) {
+        let expected = reference_list(&self.full, term);
+        if self.shadow.is_cold(term) {
+            assert_eq!(
+                postings(self.shadow.probe_shared(term).into_iter()),
+                expected,
+                "cold probe of {term} diverged from the always-live list"
+            );
+        } else if self.live.contains(&term) {
+            assert_eq!(
+                reference_list(&self.shadow, term),
+                expected,
+                "warm list of {term} diverged from the always-live list"
+            );
+        }
+    }
+}
+
+#[test]
+fn first_probe_of_a_cold_term_is_served_exactly_from_the_shared_window() {
+    let mut rng = ScriptRng::new(0xC01D_0001);
+    let mut pair = Pair::new();
+    // Terms 0 and 1 are live-and-warm from the start; term 2 goes cold
+    // mid-stream, after traffic it never filed.
+    pair.live.insert(TermId(0));
+    pair.live.insert(TermId(1));
+    for id in 0..60u64 {
+        if id == 25 {
+            pair.go_cold(TermId(2));
+        }
+        pair.arrive(random_doc(&mut rng, id));
+        if id >= 30 {
+            pair.expire_oldest();
+        }
+        // The probe must agree at *every* point of the lifecycle, not just
+        // at the end — including while post-mark arrivals skip the term.
+        for t in 0..VOCABULARY {
+            pair.assert_term_agrees(TermId(t));
+        }
+    }
+    // A term nobody registered has no list anywhere, and probing it is
+    // empty on both sides.
+    assert!(pair.shadow.probe_shared(TermId(99)).is_empty());
+    assert!(pair.full.list(TermId(99)).is_none());
+}
+
+#[test]
+fn materialisation_is_exact_and_idempotent_under_churn() {
+    let mut rng = ScriptRng::new(0xC01D_0002);
+    let mut pair = Pair::new();
+    for t in [3u32, 5, 7] {
+        pair.go_cold(TermId(t));
+    }
+    for id in 0..80u64 {
+        pair.arrive(random_doc(&mut rng, id));
+        if id >= 40 {
+            pair.expire_oldest();
+        }
+    }
+    let cold_terms = [TermId(3), TermId(5), TermId(7)];
+    let filed = pair.shadow.materialise_terms(&cold_terms);
+    let expected_total: usize = cold_terms
+        .iter()
+        .map(|&t| reference_list(&pair.full, t).len())
+        .sum();
+    assert_eq!(filed, expected_total, "materialisation filed a wrong count");
+    assert_eq!(pair.shadow.num_cold(), 0);
+    for &t in &cold_terms {
+        pair.assert_term_agrees(t);
+    }
+    // Idempotent: a second materialisation (and one over never-cold terms)
+    // files nothing and panics on nothing.
+    assert_eq!(pair.shadow.materialise_terms(&cold_terms), 0);
+    assert_eq!(pair.shadow.materialise_terms(&[TermId(0), TermId(3)]), 0);
+    // Once warm, the lists stay maintained incrementally through churn.
+    for id in 80..120u64 {
+        pair.arrive(random_doc(&mut rng, id));
+        pair.expire_oldest();
+        for &t in &cold_terms {
+            pair.assert_term_agrees(t);
+        }
+    }
+}
+
+#[test]
+fn deregistering_a_never_probed_cold_term_never_materialises_it() {
+    let mut rng = ScriptRng::new(0xC01D_0003);
+    let mut pair = Pair::new();
+    pair.go_cold(TermId(4));
+    for id in 0..50u64 {
+        pair.arrive(random_doc(&mut rng, id));
+    }
+    assert!(pair.shadow.is_cold(TermId(4)));
+    assert_eq!(
+        pair.shadow.register_postings_touched(),
+        0,
+        "a cold term's postings were filed without a probe"
+    );
+    // The last referencing query deregisters: the cold mark is shed, no
+    // list was ever built, and no backfill ever ran.
+    assert!(pair.shadow.drop_list(TermId(4)));
+    pair.live.remove(&TermId(4));
+    assert!(!pair.shadow.is_cold(TermId(4)));
+    assert!(pair
+        .shadow
+        .list(TermId(4))
+        .is_none_or(|list| list.is_empty()));
+    assert_eq!(pair.shadow.register_postings_touched(), 0);
+    // Re-registering later (cold again, then materialised) still lands on
+    // the exact list — the earlier drop left no residue.
+    pair.go_cold(TermId(4));
+    assert_eq!(
+        pair.shadow.materialise_terms(&[TermId(4)]),
+        reference_list(&pair.full, TermId(4)).len()
+    );
+    pair.assert_term_agrees(TermId(4));
+}
+
+#[test]
+fn random_lifecycle_storm_keeps_every_term_exact() {
+    // The everything-at-once axis: cold marks, materialisations, drops,
+    // arrivals and expirations interleaved at random; after every step each
+    // term must agree with the always-live reference through whichever path
+    // (cold probe / warm list) currently serves it.
+    for seed in [0xC01D_1000u64, 0xC01D_2000, 0xC01D_3000] {
+        let mut rng = ScriptRng::new(seed);
+        let mut pair = Pair::new();
+        let mut next_id = 0u64;
+        for step in 0..300usize {
+            match rng.below(10) {
+                0 => {
+                    let term = TermId(rng.below(VOCABULARY as usize) as u32);
+                    pair.go_cold(term);
+                }
+                1 => {
+                    let cold = pair.shadow.cold_terms();
+                    if !cold.is_empty() {
+                        let term = *rng.pick(&cold);
+                        pair.shadow.materialise_terms(&[term]);
+                    }
+                }
+                2 => {
+                    let live: Vec<TermId> = pair.live.iter().copied().collect();
+                    if !live.is_empty() {
+                        let term = *rng.pick(&live);
+                        pair.shadow.drop_list(term);
+                        pair.live.remove(&term);
+                    }
+                }
+                3..=4 => pair.expire_oldest(),
+                _ => {
+                    pair.arrive(random_doc(&mut rng, next_id));
+                    next_id += 1;
+                }
+            }
+            for t in 0..VOCABULARY {
+                pair.assert_term_agrees(TermId(t));
+            }
+            assert_eq!(
+                pair.full.num_documents(),
+                pair.shadow.num_documents(),
+                "step {step}: stores drifted (seed {seed:#x})"
+            );
+        }
+    }
+}
