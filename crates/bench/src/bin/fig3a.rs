@@ -20,7 +20,9 @@
 //!   round-trip, default 1; > 1 adds a second, batched sharded arm per cell
 //!   next to the per-event one), --register-burst (register the workload in
 //!   bursts of --batch queries per register_batch call instead of one bulk
-//!   call), --out PATH (default BENCH_fig3a.json)
+//!   call), --chaos (arm injected worker faults during the measured phase of
+//!   the sharded arm; every fault must recover and the self-check must still
+//!   come out exact), --out PATH (default BENCH_fig3a.json)
 //!
 //! The JSON report schema is documented in README §"Reproducing Figure 3".
 

@@ -69,6 +69,12 @@ pub struct SweepSettings {
     /// a positive value chunks registration into bursts of that size — the
     /// `register_burst` sweep mode, pricing bursty online registration.
     pub register_burst: usize,
+    /// Arm two injected worker faults per shard at the start of the
+    /// measured phase of the sharded arm (the chaos sweep mode): the first
+    /// events each shard processes are applied and then the worker panics,
+    /// so the measured mean includes warm recoveries — and the self-check
+    /// still has to come out exact.
+    pub chaos: bool,
 }
 
 impl SweepSettings {
@@ -91,6 +97,7 @@ impl SweepSettings {
             shards: 1,
             batch: 1,
             register_burst: 0,
+            chaos: false,
         }
     }
 
@@ -160,6 +167,15 @@ pub struct CellReport {
     /// utilisation; at 1 shard the difference to `mean_event_micros` is the
     /// channel fan-out overhead.
     pub shard_busy_per_event_micros: Option<f64>,
+    /// Worker faults observed during the run (sharded-ITA arm only;
+    /// non-zero only in chaos mode).
+    pub faults: Option<u64>,
+    /// Recoveries performed during the run (sharded-ITA arm only; in chaos
+    /// mode every fault must have recovered, so this equals `faults`).
+    pub recoveries: Option<u64>,
+    /// Total time spent recovering shard state, microseconds (sharded-ITA
+    /// arm only).
+    pub recovery_micros: Option<u64>,
     /// Outcome of the cross-engine self-check (`"reference"` for the engine
     /// that produced the snapshot, `"ok (n queries)"` for the one checked
     /// against it).
@@ -355,6 +371,9 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
         max_batch_micros: stats.max_batch_time.as_secs_f64() * 1e6,
         migrations: None,
         shard_busy_per_event_micros: None,
+        faults: None,
+        recoveries: None,
+        recovery_micros: None,
         self_check: String::new(),
     }
 }
@@ -445,8 +464,19 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
             batch,
             // Fill and registration are untimed setup; zero the worker stats
             // so shard_busy_per_event_micros covers exactly the measured
-            // events.
-            ShardedItaEngine::reset_shard_stats,
+            // events. In chaos mode, also arm two faults per shard: the
+            // first measured events detonate them, so the measured mean
+            // prices warm recovery and the self-check proves it was exact.
+            |engine: &mut ShardedItaEngine| {
+                engine.reset_shard_stats();
+                if settings.chaos {
+                    for shard in 0..engine.num_shards() {
+                        for _ in 0..2 {
+                            assert!(engine.inject_fault(shard), "arming chaos fault failed");
+                        }
+                    }
+                }
+            },
         );
         if let Err(divergence) = compare_to_snapshot(
             "ita",
@@ -473,6 +503,21 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
         let events = outcome.monitor.stats().events.max(1);
         sharded_report.shard_busy_per_event_micros =
             Some(busy.total_time.as_secs_f64() * 1e6 / events as f64);
+        let fault_stats = engine.fault_stats().expect("sharded engines track faults");
+        sharded_report.faults = Some(fault_stats.faults);
+        sharded_report.recoveries = Some(fault_stats.recoveries);
+        sharded_report.recovery_micros = Some(fault_stats.recovery_micros);
+        if settings.chaos {
+            assert!(
+                fault_stats.faults > 0,
+                "chaos mode armed faults but none fired"
+            );
+            assert_eq!(
+                fault_stats.faults, fault_stats.recoveries,
+                "chaos mode: some faults did not recover"
+            );
+            assert_eq!(fault_stats.degraded_shards, 0, "run ended degraded");
+        }
         sharded_report.self_check = format!("ok ({} queries)", sampled.len());
         eprintln!(
             "    sharded: mean {:.1} µs/event ({} shards, batch {}, {:.1} µs busy/event, \
@@ -484,6 +529,13 @@ pub fn run_cell(settings: &SweepSettings) -> Vec<CellReport> {
             sharded_report.migrations.unwrap(),
             sharded_report.queries_touched_per_event
         );
+        if settings.chaos {
+            eprintln!(
+                "             chaos: {} faults, {} recoveries, {} µs recovering \
+                 (self_check still exact)",
+                fault_stats.faults, fault_stats.recoveries, fault_stats.recovery_micros
+            );
+        }
         reports.push(sharded_report);
     }
 
@@ -510,11 +562,14 @@ pub struct SweepOptions {
     /// `register_batch` call instead of one bulk call (the `register_burst`
     /// sweep mode).
     pub register_burst: bool,
+    /// Arm injected worker faults during the measured phase of the sharded
+    /// arm (the chaos sweep mode; the self-check must still pass).
+    pub chaos: bool,
 }
 
 /// The usage text printed when a sweep binary is invoked with bad arguments.
 pub const USAGE: &str =
-    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--batch N] [--register-burst] [--out PATH]
+    "usage: <sweep binary> [--quick] [--full] [--events N] [--shards N] [--batch N] [--register-burst] [--chaos] [--out PATH]
   --quick     run the reduced CI-smoke grid instead of the paper-scale one
   --full      extend the grid to its largest (slowest) configuration
   --events N  measured events per cell (positive integer)
@@ -526,6 +581,9 @@ pub const USAGE: &str =
               register the query workload in bursts of `--batch` queries per
               register_batch call instead of one bulk call, pricing bursty
               online registration
+  --chaos     arm injected worker faults during the measured phase of the
+              sharded arm; the run must recover every fault and still pass
+              the exact self-check
   --out PATH  output path for the JSON report";
 
 impl SweepOptions {
@@ -557,6 +615,7 @@ impl SweepOptions {
             shards: 1,
             batch: 1,
             register_burst: false,
+            chaos: false,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -597,6 +656,7 @@ impl SweepOptions {
                     options.batch = parsed;
                 }
                 "--register-burst" => options.register_burst = true,
+                "--chaos" => options.chaos = true,
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -627,6 +687,7 @@ pub fn fig3a_grid(options: &SweepOptions) -> Vec<SweepSettings> {
         } else {
             0
         };
+        cell.chaos = options.chaos;
     }
     cells
 }
@@ -659,6 +720,7 @@ pub fn fig3b_grid(options: &SweepOptions) -> Vec<SweepSettings> {
         } else {
             0
         };
+        cell.chaos = options.chaos;
     }
     cells
 }
@@ -775,6 +837,25 @@ mod tests {
     }
 
     #[test]
+    fn a_chaos_cell_recovers_every_fault_and_still_self_checks() {
+        let mut settings = SweepSettings::quick(8, 60, 40);
+        settings.shards = 2;
+        settings.chaos = true;
+        let cells = run_cell(&settings);
+        let sharded = &cells[2];
+        assert_eq!(sharded.engine, "sharded-ita");
+        // run_cell already asserts faults == recoveries > 0 and a clean
+        // self-check; here we additionally pin down what the JSON records.
+        assert_eq!(sharded.faults, sharded.recoveries);
+        assert!(sharded.faults.unwrap() >= 4, "2 faults/shard armed");
+        assert!(sharded.recovery_micros.unwrap() > 0);
+        assert!(sharded.self_check.starts_with("ok ("));
+        // The fault-free arms carry no fault counters.
+        assert_eq!(cells[0].faults, None);
+        assert_eq!(cells[1].faults, None);
+    }
+
+    #[test]
     fn reports_serialise_to_json() {
         let settings = SweepSettings::quick(4, 30, 10);
         let mut report = SweepReport::new("fig3x", "test sweep", &settings);
@@ -800,6 +881,7 @@ mod tests {
             "--batch",
             "64",
             "--register-burst",
+            "--chaos",
             "--out",
             "x.json",
         ])
@@ -810,6 +892,7 @@ mod tests {
         assert_eq!(options.shards, 4);
         assert_eq!(options.batch, 64);
         assert!(options.register_burst);
+        assert!(options.chaos);
         assert_eq!(options.out, "x.json");
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.out, "DEFAULT.json");
@@ -817,6 +900,8 @@ mod tests {
         assert_eq!(defaults.shards, 1);
         assert_eq!(defaults.batch, 1);
         assert!(!defaults.register_burst);
+        assert!(!defaults.chaos);
+        assert!(USAGE.contains("--chaos"));
     }
 
     #[test]
@@ -862,6 +947,7 @@ mod tests {
             shards: 4,
             batch: 64,
             register_burst: false,
+            chaos: true,
         };
         let quick = SweepOptions {
             quick: true,
@@ -874,7 +960,7 @@ mod tests {
         let a = fig3a_grid(&paper);
         assert!(a
             .iter()
-            .all(|s| s.shards == 4 && s.batch == 64 && s.register_burst == 0));
+            .all(|s| s.shards == 4 && s.batch == 64 && s.register_burst == 0 && s.chaos));
         assert!(fig3b_grid(&paper)
             .iter()
             .all(|s| s.shards == 4 && s.batch == 64 && s.register_burst == 0));

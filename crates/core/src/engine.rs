@@ -8,6 +8,7 @@
 
 use cts_index::{DocId, Document, QueryId, Timestamp};
 
+use crate::fault::FaultStats;
 use crate::query::ContinuousQuery;
 
 pub use crate::result::RankedDocument;
@@ -118,6 +119,22 @@ pub trait Engine {
     fn batched_max_event_time(&self) -> Option<std::time::Duration> {
         None
     }
+
+    /// Arms one injected fault on `shard`, for engines that support fault
+    /// injection: the next stream event that shard processes is applied and
+    /// then the worker panics mid-request, exercising the recovery path.
+    /// Returns whether a fault was armed. The default is a no-op returning
+    /// `false` — which is what lets the testkit's chaos scripts run in
+    /// lockstep against fault-free reference engines.
+    fn inject_fault(&mut self, _shard: usize) -> bool {
+        false
+    }
+
+    /// Fault and recovery counters, for engines that track them (`None`
+    /// otherwise).
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
 
 /// Mutable references to engines are engines: harnesses that want to drive
@@ -169,6 +186,14 @@ impl<E: Engine + ?Sized> Engine for &mut E {
 
     fn batched_max_event_time(&self) -> Option<std::time::Duration> {
         (**self).batched_max_event_time()
+    }
+
+    fn inject_fault(&mut self, shard: usize) -> bool {
+        (**self).inject_fault(shard)
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        (**self).fault_stats()
     }
 }
 

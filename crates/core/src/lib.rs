@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod ita;
 pub mod monitor;
 pub mod naive;
@@ -62,6 +63,10 @@ pub mod testkit;
 pub mod validate;
 
 pub use engine::{Engine, EventOutcome, RankedDocument};
+pub use fault::{
+    is_poison_document, poison_document, EngineError, FaultConfig, FaultPolicy, FaultStats,
+    ShardFault, POISON_DOC_TEXT,
+};
 pub use ita::{ItaConfig, ItaEngine, ItaQueryStats, QueryMigration};
 pub use monitor::{Monitor, ProcessingStats};
 pub use naive::{NaiveConfig, NaiveEngine};

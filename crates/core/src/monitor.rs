@@ -368,6 +368,14 @@ impl<E: Engine> Engine for Monitor<E> {
     fn batched_max_event_time(&self) -> Option<Duration> {
         self.engine.batched_max_event_time()
     }
+
+    fn inject_fault(&mut self, shard: usize) -> bool {
+        self.engine.inject_fault(shard)
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.engine.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,18 @@ impl<E: Engine> MonitoringServer<E> {
     pub fn engine(&self) -> &E {
         self.monitor.engine()
     }
+
+    /// Mutable access to the underlying engine (fault injection, explicit
+    /// recovery). Events processed directly on the engine bypass timing.
+    pub fn engine_mut(&mut self) -> &mut E {
+        self.monitor.engine_mut()
+    }
+
+    /// The engine's fault and recovery counters, when it tracks them (the
+    /// sharded engine does; single-threaded engines return `None`).
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.monitor.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -47,13 +47,45 @@
 //! initial hash placement ([`ShardedItaEngine::shard_of`]) once a query has
 //! moved.
 //!
-//! Workers are **persistent**: they are spawned once inside a
-//! [`std::thread::scope`] held by a supervisor thread and live until the
-//! engine is dropped, so steady-state event processing pays a channel
-//! send/recv, never a thread spawn. The scope guarantees every worker is
-//! joined (even when one panics) before the supervisor exits; the
-//! coordinator surfaces a worker panic as its own panic the moment a channel
-//! closes under it.
+//! ## Fault tolerance
+//!
+//! A production service cannot let one poisoned event take every registered
+//! query down, so a worker panic is **data, not death** (DESIGN.md §10):
+//!
+//! * **Panic isolation** — every request a worker handles runs under
+//!   [`std::panic::catch_unwind`]. A panic never unwinds the worker thread;
+//!   at worst it costs the shard its in-memory engine state.
+//! * **Warm recovery (checkpoint + op log)** — each worker keeps a clone of
+//!   its engine refreshed every [`FaultConfig::checkpoint_interval`] state
+//!   mutations plus a log of the deterministic mutations since. A caught
+//!   panic restores the clone, replays the log, and **retries the request
+//!   once** — byte-identical to never having faulted, because ITA thresholds
+//!   are history-dependent and the replayed history is exactly the original
+//!   one. Stats record only successful attempts, so the counters also match
+//!   a fault-free run.
+//! * **Cold resurrection** — if warm recovery is impossible (checkpointing
+//!   disabled, a second panic, or the thread is gone) the worker reports a
+//!   typed [`ShardFault`] and the shard is *degraded*. The coordinator keeps
+//!   durable state updated **before** any fan-out — a query registry
+//!   (id → [`ContinuousQuery`]), the placement table and a window mirror of
+//!   `Arc`'d documents — so it can rebuild the shard from scratch: respawn
+//!   the thread if needed, re-register the shard's queries and replay the
+//!   window. Rebuilt top-k results are exact (ITA's reported top-k is a
+//!   function of the window contents); the re-derived *thresholds* are not
+//!   guaranteed identical, so post-resurrection work counters may differ
+//!   from a fault-free history (measured in `tests/chaos_recovery.rs`).
+//! * **Degraded-mode policy** — [`FaultPolicy`] decides what happens between
+//!   a cold fault and its resurrection: block and rebuild synchronously
+//!   (default), serve the healthy shards and mark the affected queries
+//!   stale, or fail fast with a typed [`EngineError`] from the `try_*`
+//!   paths.
+//!
+//! Workers are **persistent**: one spawned thread per shard, living until
+//! the engine shuts down. Construction retries a failed spawn once and then
+//! degrades to fewer shards (counted in [`FaultStats::spawn_retries`] /
+//! [`FaultStats::spawn_fallbacks`]) instead of aborting. Shutdown drains
+//! each worker's final [`ProcessingStats`] through a handshake before
+//! joining, so no timing data is lost on drop.
 //!
 //! ## Why this is exact
 //!
@@ -68,17 +100,23 @@
 //! brings a term live mid-stream). The randomized differential test in
 //! `tests/sharded_equivalence.rs` enforces byte-identical results and event
 //! outcomes against [`ItaEngine`] across shard counts, deregistration and
-//! window expiry.
+//! window expiry; `tests/chaos_recovery.rs` enforces the same with faults
+//! injected and recovered mid-stream.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cts_index::{Document, IndexStats, QueryId, SlidingWindow, Timestamp};
+use cts_index::{Document, IndexStats, QueryId, SlidingWindow, Timestamp, WindowKind};
 
 use crate::engine::{Engine, EventOutcome};
+use crate::fault::{
+    is_poison_document, EngineError, FaultConfig, FaultPolicy, FaultStats, ShardFault,
+};
 use crate::ita::{ItaConfig, ItaEngine, ItaQueryStats, QueryMigration};
 use crate::monitor::ProcessingStats;
 use crate::query::ContinuousQuery;
@@ -86,13 +124,12 @@ use crate::result::RankedDocument;
 
 /// A request travelling coordinator → shard on the shard's SPSC channel.
 enum ShardRequest {
-    /// Register `query` under the globally assigned id (synchronous).
-    Register(QueryId, ContinuousQuery),
-    /// Register a whole burst of queries, each under its globally assigned
-    /// id, in one round-trip (synchronous). The shard brings all of the
-    /// burst's newly-live shadow terms up in a single window merge
+    /// Register a burst of queries, each under its globally assigned id, in
+    /// one round-trip (synchronous). The shard brings all of the burst's
+    /// newly-live shadow terms up in a single window merge
     /// ([`ItaEngine::register_batch_with_ids`]) instead of one backfill scan
-    /// per query.
+    /// per query. Single registrations are a one-element burst (the
+    /// [`Engine::register_batch`] contract makes that byte-identical).
     RegisterBatch(Vec<(QueryId, ContinuousQuery)>),
     /// Remove a query (synchronous; replies whether it existed).
     Deregister(QueryId),
@@ -121,10 +158,26 @@ enum ShardRequest {
     ResetStats,
     /// Read the shard's valid-document count (identical across shards).
     NumValidDocuments,
+    /// Arm one injected fault: the next stream event is applied for real and
+    /// the worker then panics mid-request, exercising warm recovery (or
+    /// poisoning the shard when checkpointing is off).
+    ArmFault,
+    /// Rebuild the shard from the coordinator's durable state: a fresh
+    /// term-filtered engine, the given queries registered, the given window
+    /// replayed. Clears any poisoning.
+    Rebuild(Vec<Arc<Document>>, Vec<(QueryId, ContinuousQuery)>),
+    /// Drain the worker's final stats and exit the thread (the shutdown
+    /// handshake that keeps stats from being lost on drop).
+    Shutdown,
+    /// Test hook: exit the worker thread *without* replying, exactly as a
+    /// killed thread would look from the coordinator's side.
+    Crash,
 }
 
 /// A reply travelling shard → coordinator, always in request order (each
-/// channel pair carries at most one outstanding request per shard).
+/// channel pair carries at most one outstanding request per shard). Every
+/// reply piggybacks a [`FaultNotice`] so warm recoveries performed inside
+/// the worker reach the coordinator's [`FaultStats`].
 enum ShardReply {
     Registered,
     Deregistered(bool),
@@ -141,78 +194,464 @@ enum ShardReply {
     Stats(ProcessingStats),
     StatsReset,
     NumValidDocuments(usize),
+    Armed,
+    Rebuilt,
+    /// The worker's final stats, sent once in response to
+    /// [`ShardRequest::Shutdown`] just before the thread exits.
+    ShuttingDown(ProcessingStats),
+    /// The request could not be served: the worker caught a panic it could
+    /// not recover from in place (or its state is already gone). The shard
+    /// is degraded until the coordinator rebuilds it.
+    Fault(ShardFault),
 }
 
-/// The persistent worker loop: one term-filtered [`ItaEngine`] driven by the
-/// shard's request channel until the coordinator hangs up. Event processing
-/// is timed per shard into a local [`ProcessingStats`], which the
-/// coordinator merges with [`ProcessingStats::absorb`] on demand.
-fn worker_loop(
-    mut shard: ItaEngine,
-    requests: Receiver<ShardRequest>,
-    replies: Sender<ShardReply>,
-) {
-    let mut stats = ProcessingStats::default();
-    while let Ok(request) = requests.recv() {
-        let reply = match request {
-            ShardRequest::Register(qid, query) => {
-                shard.register_with_id(qid, query);
-                ShardReply::Registered
+/// Fault bookkeeping piggybacked on every reply: panics the worker caught
+/// and warm recoveries it performed since the previous reply.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultNotice {
+    faults: u64,
+    recoveries: u64,
+    recovery: Duration,
+}
+
+/// One logged state mutation — the unit of the worker's warm-recovery op
+/// log. Every variant is deterministic: applying the same op to the same
+/// engine state always produces the same next state, which is what makes
+/// checkpoint + replay byte-identical to never having faulted.
+#[derive(Clone)]
+enum LogOp {
+    RegisterBatch(Vec<(QueryId, ContinuousQuery)>),
+    Deregister(QueryId),
+    Process(Arc<Document>),
+    Extract(QueryId),
+    Install(QueryId, Box<QueryMigration>),
+}
+
+/// The value a [`LogOp`] application produces (discarded during replay).
+enum LogValue {
+    Unit,
+    Deregistered(bool),
+    Processed(EventOutcome),
+    Extracted(Option<Box<QueryMigration>>),
+}
+
+impl LogOp {
+    /// Applies the op to `engine`. Payloads are cloned per application so
+    /// the op stays replayable.
+    fn apply(&self, engine: &mut ItaEngine) -> LogValue {
+        match self {
+            LogOp::RegisterBatch(batch) => {
+                engine.register_batch_with_ids(batch.clone());
+                LogValue::Unit
             }
-            ShardRequest::RegisterBatch(batch) => {
-                shard.register_batch_with_ids(batch);
-                ShardReply::Registered
+            LogOp::Deregister(qid) => LogValue::Deregistered(engine.deregister(*qid)),
+            LogOp::Process(doc) => LogValue::Processed(engine.process_shared(Arc::clone(doc))),
+            LogOp::Extract(qid) => LogValue::Extracted(engine.extract_query(*qid).map(Box::new)),
+            LogOp::Install(qid, migration) => {
+                engine.install_query(*qid, (**migration).clone());
+                LogValue::Unit
             }
-            ShardRequest::Deregister(qid) => ShardReply::Deregistered(shard.deregister(qid)),
-            ShardRequest::Process(doc) => {
-                let start = Instant::now();
-                let outcome = shard.process_shared(doc);
-                stats.record(&outcome, start.elapsed());
-                ShardReply::Processed(outcome)
+        }
+    }
+}
+
+/// Renders a caught panic payload as the fault context string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The per-thread state of one shard worker: the engine (absent while the
+/// shard is poisoned), the warm-recovery checkpoint + op log, local
+/// processing stats, and the fault-injection hooks.
+struct ShardWorker {
+    shard: usize,
+    window: SlidingWindow,
+    config: ItaConfig,
+    /// Mutations between checkpoints; `0` disables warm recovery.
+    checkpoint_interval: usize,
+    /// `None` while poisoned (a panic warm recovery could not undo).
+    engine: Option<ItaEngine>,
+    /// Clone of the engine as of the last checkpoint; `None` only when
+    /// checkpointing is disabled or the shard is poisoned.
+    checkpoint: Option<Box<ItaEngine>>,
+    /// Mutations applied since the checkpoint, replayed on restore.
+    log: Vec<LogOp>,
+    stats: ProcessingStats,
+    /// Fault bookkeeping since the last reply (drained onto each reply).
+    notice: FaultNotice,
+    /// Injected faults armed via [`ShardRequest::ArmFault`]; each is
+    /// consumed by one stream event.
+    armed_faults: u32,
+    /// Poison documents already detonated once — consumed pre-attempt so
+    /// the post-recovery retry (and any rebuild replay) runs clean.
+    seen_poison: HashSet<u64>,
+    /// The fault that poisoned the shard, replayed to callers until rebuilt.
+    pending_fault: Option<ShardFault>,
+}
+
+impl ShardWorker {
+    fn new(
+        shard: usize,
+        window: SlidingWindow,
+        config: ItaConfig,
+        checkpoint_interval: usize,
+    ) -> Self {
+        let engine = ItaEngine::term_filtered(window, config);
+        // Checkpointing the empty engine up front means warm recovery is
+        // available from the very first mutation.
+        let checkpoint = (checkpoint_interval > 0).then(|| Box::new(engine.clone()));
+        Self {
+            shard,
+            window,
+            config,
+            checkpoint_interval,
+            engine: Some(engine),
+            checkpoint,
+            log: Vec::new(),
+            stats: ProcessingStats::default(),
+            notice: FaultNotice::default(),
+            armed_faults: 0,
+            seen_poison: HashSet::new(),
+            pending_fault: None,
+        }
+    }
+
+    /// The fault to report while the shard's engine state is gone.
+    fn pending(&self) -> ShardFault {
+        self.pending_fault.clone().unwrap_or_else(|| ShardFault {
+            shard: self.shard,
+            context: "shard state is gone (awaiting rebuild)".to_string(),
+        })
+    }
+
+    /// Drops all recoverable state after a panic that warm recovery could
+    /// not undo; every engine-touching request now replies `fault` until the
+    /// coordinator rebuilds the shard.
+    fn poison(&mut self, fault: ShardFault) {
+        self.engine = None;
+        self.checkpoint = None;
+        self.log.clear();
+        self.pending_fault = Some(fault);
+    }
+
+    /// Appends a successful mutation to the op log, refreshing the
+    /// checkpoint when the log reaches the configured interval.
+    fn log_mutation(&mut self, op: LogOp) {
+        if self.checkpoint_interval == 0 {
+            return;
+        }
+        self.log.push(op);
+        if self.log.len() >= self.checkpoint_interval {
+            self.take_checkpoint();
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        if let Some(engine) = self.engine.as_ref() {
+            self.checkpoint = Some(Box::new(engine.clone()));
+            self.log.clear();
+        }
+    }
+
+    /// Warm recovery: rebuilds the engine as checkpoint + replayed op log —
+    /// byte-identical to the pre-fault state, because every logged op is
+    /// deterministic and the replayed history is the original one. Replay
+    /// does **not** touch `stats` (those mutations were already recorded
+    /// when they first succeeded). Returns `false` when checkpointing is
+    /// off.
+    fn try_restore(&mut self) -> bool {
+        let Some(checkpoint) = self.checkpoint.as_deref() else {
+            return false;
+        };
+        let start = Instant::now();
+        let mut engine = checkpoint.clone();
+        for op in &self.log {
+            op.apply(&mut engine);
+        }
+        self.engine = Some(engine);
+        self.notice.recoveries += 1;
+        self.notice.recovery += start.elapsed();
+        true
+    }
+
+    /// Whether this event should detonate: an armed injected fault, or the
+    /// first sighting of a poison document. Consumed **before** the attempt
+    /// so the post-recovery retry runs clean — which also means the
+    /// injection models a *partial* failure (the event is applied for real,
+    /// then the panic fires), forcing a genuine state restore rather than a
+    /// no-op retry.
+    fn take_injection(&mut self, doc: &Document) -> bool {
+        if self.armed_faults > 0 {
+            self.armed_faults -= 1;
+            return true;
+        }
+        is_poison_document(doc) && self.seen_poison.insert(doc.id.0)
+    }
+
+    /// Applies one guarded, logged mutation with a single warm-recovery
+    /// retry: panic → restore checkpoint + log → retry once → second panic
+    /// poisons the shard.
+    fn mutate(&mut self, op: LogOp) -> Result<LogValue, ShardFault> {
+        for attempt in 0..2u8 {
+            let Some(engine) = self.engine.as_mut() else {
+                return Err(self.pending());
+            };
+            match catch_unwind(AssertUnwindSafe(|| op.apply(engine))) {
+                Ok(value) => {
+                    self.log_mutation(op);
+                    return Ok(value);
+                }
+                Err(payload) => {
+                    let context = panic_message(payload.as_ref());
+                    self.notice.faults += 1;
+                    if attempt == 0 && self.try_restore() {
+                        continue;
+                    }
+                    let fault = ShardFault {
+                        shard: self.shard,
+                        context,
+                    };
+                    self.poison(fault.clone());
+                    return Err(fault);
+                }
             }
+        }
+        unreachable!("both attempts return")
+    }
+
+    /// Processes one stream event under the guard, recording stats for the
+    /// successful attempt only (so a recovered run's counters match a
+    /// fault-free run exactly). Fault injection detonates *after* the event
+    /// is applied.
+    fn process_one(&mut self, doc: Arc<Document>) -> Result<(EventOutcome, Duration), ShardFault> {
+        let mut inject = self.take_injection(&doc);
+        let doc_id = doc.id;
+        let op = LogOp::Process(doc);
+        for attempt in 0..2u8 {
+            let Some(engine) = self.engine.as_mut() else {
+                return Err(self.pending());
+            };
+            let injected = std::mem::take(&mut inject);
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let value = op.apply(engine);
+                if injected {
+                    panic!("injected fault while processing document {}", doc_id.0);
+                }
+                value
+            }));
+            match outcome {
+                Ok(LogValue::Processed(outcome)) => {
+                    let elapsed = start.elapsed();
+                    self.stats.record(&outcome, elapsed);
+                    self.log_mutation(op);
+                    return Ok((outcome, elapsed));
+                }
+                Ok(_) => unreachable!("a Process op yields Processed"),
+                Err(payload) => {
+                    let context = panic_message(payload.as_ref());
+                    self.notice.faults += 1;
+                    if attempt == 0 && self.try_restore() {
+                        continue;
+                    }
+                    let fault = ShardFault {
+                        shard: self.shard,
+                        context,
+                    };
+                    self.poison(fault.clone());
+                    return Err(fault);
+                }
+            }
+        }
+        unreachable!("both attempts return")
+    }
+
+    /// Serves one request with the outer panic guard: anything that escapes
+    /// the per-op guards (e.g. a panic during restore replay) poisons the
+    /// shard instead of unwinding the thread.
+    fn guarded(&mut self, request: ShardRequest) -> ShardReply {
+        match catch_unwind(AssertUnwindSafe(|| self.handle(request))) {
+            Ok(reply) => reply,
+            Err(payload) => {
+                self.notice.faults += 1;
+                let fault = ShardFault {
+                    shard: self.shard,
+                    context: panic_message(payload.as_ref()),
+                };
+                self.poison(fault.clone());
+                ShardReply::Fault(fault)
+            }
+        }
+    }
+
+    fn handle(&mut self, request: ShardRequest) -> ShardReply {
+        match request {
+            ShardRequest::RegisterBatch(batch) => match self.mutate(LogOp::RegisterBatch(batch)) {
+                Ok(_) => ShardReply::Registered,
+                Err(fault) => ShardReply::Fault(fault),
+            },
+            ShardRequest::Deregister(qid) => match self.mutate(LogOp::Deregister(qid)) {
+                Ok(LogValue::Deregistered(removed)) => ShardReply::Deregistered(removed),
+                Ok(_) => unreachable!("a Deregister op yields Deregistered"),
+                Err(fault) => ShardReply::Fault(fault),
+            },
+            ShardRequest::Process(doc) => match self.process_one(doc) {
+                Ok((outcome, _)) => ShardReply::Processed(outcome),
+                Err(fault) => ShardReply::Fault(fault),
+            },
             ShardRequest::ProcessBatch(docs) => {
                 // One channel round-trip covers the whole burst; the worker
                 // still processes and times each event individually, so the
                 // outcomes and the per-worker stats are exactly the
-                // per-event loop's.
+                // per-event loop's. A mid-batch unrecoverable fault fails
+                // the whole batch reply (the shard is degraded anyway).
                 let mut max_event = Duration::ZERO;
-                let outcomes = docs
-                    .iter()
-                    .map(|doc| {
-                        let start = Instant::now();
-                        let outcome = shard.process_shared(Arc::clone(doc));
-                        let elapsed = start.elapsed();
-                        max_event = max_event.max(elapsed);
-                        stats.record(&outcome, elapsed);
-                        outcome
-                    })
-                    .collect();
+                let mut outcomes = Vec::with_capacity(docs.len());
+                for doc in docs.iter() {
+                    match self.process_one(Arc::clone(doc)) {
+                        Ok((outcome, elapsed)) => {
+                            max_event = max_event.max(elapsed);
+                            outcomes.push(outcome);
+                        }
+                        Err(fault) => return ShardReply::Fault(fault),
+                    }
+                }
                 ShardReply::ProcessedBatch(outcomes, max_event)
             }
-            ShardRequest::Extract(qid) => {
-                ShardReply::Extracted(shard.extract_query(qid).map(Box::new))
-            }
+            ShardRequest::Extract(qid) => match self.mutate(LogOp::Extract(qid)) {
+                Ok(LogValue::Extracted(migration)) => ShardReply::Extracted(migration),
+                Ok(_) => unreachable!("an Extract op yields Extracted"),
+                Err(fault) => ShardReply::Fault(fault),
+            },
             ShardRequest::Install(qid, migration) => {
-                shard.install_query(qid, *migration);
-                ShardReply::Installed
+                match self.mutate(LogOp::Install(qid, migration)) {
+                    Ok(_) => ShardReply::Installed,
+                    Err(fault) => ShardReply::Fault(fault),
+                }
             }
-            ShardRequest::Results(qid) => ShardReply::Results(shard.current_results(qid)),
-            ShardRequest::QueryStats(qid) => ShardReply::QueryStats(shard.query_stats(qid)),
-            ShardRequest::IndexStats => ShardReply::IndexStats(shard.index_stats()),
-            ShardRequest::Stats => ShardReply::Stats(stats),
+            ShardRequest::Results(qid) => match self.engine.as_ref() {
+                Some(engine) => ShardReply::Results(engine.current_results(qid)),
+                None => ShardReply::Fault(self.pending()),
+            },
+            ShardRequest::QueryStats(qid) => match self.engine.as_ref() {
+                Some(engine) => ShardReply::QueryStats(engine.query_stats(qid)),
+                None => ShardReply::Fault(self.pending()),
+            },
+            ShardRequest::IndexStats => match self.engine.as_ref() {
+                Some(engine) => ShardReply::IndexStats(engine.index_stats()),
+                None => ShardReply::Fault(self.pending()),
+            },
+            ShardRequest::Stats => ShardReply::Stats(self.stats),
             ShardRequest::ResetStats => {
-                stats = ProcessingStats::default();
+                self.stats = ProcessingStats::default();
                 ShardReply::StatsReset
             }
-            ShardRequest::NumValidDocuments => {
-                ShardReply::NumValidDocuments(shard.num_valid_documents())
+            ShardRequest::NumValidDocuments => match self.engine.as_ref() {
+                Some(engine) => ShardReply::NumValidDocuments(engine.num_valid_documents()),
+                None => ShardReply::Fault(self.pending()),
+            },
+            ShardRequest::ArmFault => {
+                self.armed_faults += 1;
+                ShardReply::Armed
             }
+            ShardRequest::Rebuild(window_docs, queries) => {
+                // Cold resurrection from the coordinator's durable state:
+                // register the queries, then replay the window as arrivals.
+                // The mirror holds only currently-valid documents, so the
+                // replay triggers no expirations; no injection check and no
+                // stats recording — recovery work is not stream work.
+                let mut engine = ItaEngine::term_filtered(self.window, self.config);
+                engine.register_batch_with_ids(queries);
+                for doc in window_docs {
+                    engine.process_shared(doc);
+                }
+                self.engine = Some(engine);
+                self.log.clear();
+                self.checkpoint = None;
+                if self.checkpoint_interval > 0 {
+                    self.take_checkpoint();
+                }
+                self.pending_fault = None;
+                self.armed_faults = 0;
+                ShardReply::Rebuilt
+            }
+            ShardRequest::Shutdown | ShardRequest::Crash => {
+                unreachable!("lifecycle requests are handled by the worker loop")
+            }
+        }
+    }
+}
+
+/// The persistent worker loop: one guarded [`ShardWorker`] driven by the
+/// shard's request channel until the coordinator hangs up or sends the
+/// shutdown handshake. A panic while serving a request is caught and
+/// reported as [`ShardReply::Fault`]; it never unwinds the thread.
+fn worker_loop(
+    shard: usize,
+    window: SlidingWindow,
+    config: ItaConfig,
+    checkpoint_interval: usize,
+    requests: Receiver<ShardRequest>,
+    replies: Sender<(ShardReply, FaultNotice)>,
+) {
+    let mut worker = ShardWorker::new(shard, window, config, checkpoint_interval);
+    while let Ok(request) = requests.recv() {
+        let reply = match request {
+            ShardRequest::Shutdown => {
+                // Final-stats handshake: surrendering the accumulated stats
+                // in the reply is what keeps them from dying with the
+                // thread.
+                let _ = replies.send((
+                    ShardReply::ShuttingDown(worker.stats),
+                    FaultNotice::default(),
+                ));
+                return;
+            }
+            ShardRequest::Crash => return,
+            request => worker.guarded(request),
         };
-        if replies.send(reply).is_err() {
+        let notice = std::mem::take(&mut worker.notice);
+        if replies.send((reply, notice)).is_err() {
             // The coordinator is gone; nothing left to serve.
             break;
         }
     }
+}
+
+/// Spawns `requested` workers through `spawn`, assigning contiguous slot
+/// indices. A failed spawn is retried once; a slot that fails twice is
+/// dropped (the engine degrades to fewer shards) instead of aborting
+/// construction. Returns the spawned handles plus the retry and fallback
+/// counts for [`FaultStats::spawn_retries`] / [`FaultStats::spawn_fallbacks`].
+fn spawn_with_retry<T, E>(
+    requested: usize,
+    spawn: &mut dyn FnMut(usize) -> Result<T, E>,
+) -> (Vec<T>, u64, u64) {
+    let mut spawned = Vec::with_capacity(requested);
+    let mut retries = 0u64;
+    let mut fallbacks = 0u64;
+    for _ in 0..requested {
+        // Slots stay contiguous: a dropped slot's index is reused by the
+        // next attempt, so shard indices always equal 0..spawned.len().
+        let slot = spawned.len();
+        match spawn(slot) {
+            Ok(handle) => spawned.push(handle),
+            Err(_) => {
+                retries += 1;
+                match spawn(slot) {
+                    Ok(handle) => spawned.push(handle),
+                    Err(_) => fallbacks += 1,
+                }
+            }
+        }
+    }
+    (spawned, retries, fallbacks)
 }
 
 /// Policy of the coordinator's skew-aware query rebalancer.
@@ -266,24 +705,43 @@ impl RebalanceConfig {
     }
 }
 
-/// The paper's ITA, executed across `N` query-partitioned worker shards.
+/// One shard's channels and thread handle, as owned by the coordinator.
+#[derive(Debug)]
+struct ShardHandle {
+    sender: Sender<ShardRequest>,
+    receiver: Receiver<(ShardReply, FaultNotice)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Fault counters and per-shard degradation flags, behind a [`RefCell`] so
+/// the `&self` read paths (which may *observe* a fault but cannot repair
+/// it) can still account for what they saw. The engine is not `Sync` (its
+/// channel `Sender`s already are not), so the single-threaded `RefCell`
+/// discipline costs nothing.
+#[derive(Debug)]
+struct FaultState {
+    stats: FaultStats,
+    degraded: Vec<bool>,
+}
+
+/// The paper's ITA, executed across `N` query-partitioned worker shards
+/// with panic isolation and supervised recovery.
 ///
 /// Implements [`Engine`] with results and event outcomes byte-identical to
-/// the single-shard [`ItaEngine`] over any stream. See the module docs for
-/// the partitioning rule, the fan-out and batch protocols, the skew-aware
-/// rebalancer and the exactness argument.
+/// the single-shard [`ItaEngine`] over any stream — including streams with
+/// worker faults, as long as warm recovery is enabled (the default). See
+/// the module docs for the partitioning rule, the fan-out and batch
+/// protocols, the skew-aware rebalancer, the fault model and the exactness
+/// argument.
 #[derive(Debug)]
 pub struct ShardedItaEngine {
-    /// Coordinator → shard request channels (SPSC: this engine is the only
-    /// producer, the shard's worker the only consumer).
-    requests: Vec<Sender<ShardRequest>>,
-    /// Shard → coordinator reply channels, index-aligned with `requests`.
-    replies: Vec<Receiver<ShardReply>>,
-    /// The supervisor thread whose [`std::thread::scope`] owns the workers.
-    supervisor: Option<JoinHandle<()>>,
+    /// Per-shard channels + thread handles. Workers are respawned in place
+    /// on cold resurrection, so the vector length is the shard count.
+    workers: Vec<ShardHandle>,
     window: SlidingWindow,
     config: ItaConfig,
     rebalance: RebalanceConfig,
+    faults: FaultConfig,
     /// The routing table: which shard currently hosts each registered query.
     /// Starts as the hash placement of [`ShardedItaEngine::shard_of`];
     /// migrations move entries.
@@ -291,6 +749,16 @@ pub struct ShardedItaEngine {
     /// Per-shard resident query ids (registration order). `placement[s].len()`
     /// is shard `s`'s query load.
     placement: Vec<Vec<QueryId>>,
+    /// Durable copy of every registered query — with `placement` and
+    /// `mirror`, everything cold resurrection needs. Updated **before** any
+    /// fan-out, so a request lost to a crashed worker is still
+    /// reconstructible.
+    registry: HashMap<QueryId, ContinuousQuery>,
+    /// Durable mirror of the sliding window (oldest first), pruned with the
+    /// exact policy the workers apply. The `Arc`s are shared with the
+    /// workers' stores, so the mirror costs pointers, not documents.
+    mirror: VecDeque<Arc<Document>>,
+    fault_state: RefCell<FaultState>,
     /// Total queries migrated by the rebalancer since construction.
     migrations: u64,
     /// Most expensive single event seen inside any processed batch, as timed
@@ -306,7 +774,8 @@ pub struct ShardedItaEngine {
 impl ShardedItaEngine {
     /// Creates an engine with `shards` persistent worker shards, each
     /// running a term-filtered [`ItaEngine`] under the given window policy
-    /// and configuration, with the default [`RebalanceConfig`].
+    /// and configuration, with the default [`RebalanceConfig`] and
+    /// [`FaultConfig`].
     ///
     /// # Panics
     ///
@@ -326,50 +795,64 @@ impl ShardedItaEngine {
         shards: usize,
         rebalance: RebalanceConfig,
     ) -> Self {
+        Self::with_faults(window, config, shards, rebalance, FaultConfig::default())
+    }
+
+    /// Creates an engine with explicit rebalancing and fault-tolerance
+    /// policies. A worker spawn that fails is retried once and then its
+    /// shard is dropped — the engine degrades to fewer shards (counted in
+    /// [`FaultStats::spawn_fallbacks`]) rather than aborting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, if `rebalance.max_over_ideal < 1`, or if
+    /// not a single worker could be spawned.
+    pub fn with_faults(
+        window: SlidingWindow,
+        config: ItaConfig,
+        shards: usize,
+        rebalance: RebalanceConfig,
+        faults: FaultConfig,
+    ) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
         assert!(
             rebalance.max_over_ideal >= 1.0,
             "a rebalance trigger below the uniform share would thrash"
         );
-        let mut requests = Vec::with_capacity(shards);
-        let mut replies = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (request_tx, request_rx) = std::sync::mpsc::channel();
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            requests.push(request_tx);
-            replies.push(reply_rx);
-            workers.push((
-                ItaEngine::term_filtered(window, config),
-                request_rx,
-                reply_tx,
-            ));
+        let interval = faults.checkpoint_interval;
+        let mut spawn = |slot: usize| Self::spawn_worker(slot, window, config, interval);
+        let (workers, spawn_retries, spawn_fallbacks) = spawn_with_retry(shards, &mut spawn);
+        assert!(
+            !workers.is_empty(),
+            "could not spawn any shard worker (all {shards} spawn attempts failed twice)"
+        );
+        if spawn_fallbacks > 0 {
+            eprintln!(
+                "cts-shard: degraded to {} of {} requested shards ({} spawn attempts failed twice)",
+                workers.len(),
+                shards,
+                spawn_fallbacks
+            );
         }
-        // The supervisor's scope keeps the workers joined-on-exit even if one
-        // panics; the workers themselves exit when the coordinator drops its
-        // request senders.
-        let supervisor = std::thread::Builder::new()
-            .name("cts-shard-supervisor".to_string())
-            .spawn(move || {
-                std::thread::scope(|scope| {
-                    for (i, (shard, request_rx, reply_tx)) in workers.into_iter().enumerate() {
-                        std::thread::Builder::new()
-                            .name(format!("cts-shard-{i}"))
-                            .spawn_scoped(scope, move || worker_loop(shard, request_rx, reply_tx))
-                            .expect("spawn shard worker");
-                    }
-                });
-            })
-            .expect("spawn shard supervisor");
+        let spawned = workers.len();
         Self {
-            requests,
-            replies,
-            supervisor: Some(supervisor),
+            workers,
             window,
             config,
             rebalance,
+            faults,
             assignment: HashMap::new(),
-            placement: vec![Vec::new(); shards],
+            placement: vec![Vec::new(); spawned],
+            registry: HashMap::new(),
+            mirror: VecDeque::new(),
+            fault_state: RefCell::new(FaultState {
+                stats: FaultStats {
+                    spawn_retries,
+                    spawn_fallbacks,
+                    ..FaultStats::default()
+                },
+                degraded: vec![false; spawned],
+            }),
             migrations: 0,
             batched_max_event: Duration::ZERO,
             num_queries: 0,
@@ -378,9 +861,37 @@ impl ShardedItaEngine {
         }
     }
 
-    /// Number of worker shards.
+    fn spawn_worker(
+        shard: usize,
+        window: SlidingWindow,
+        config: ItaConfig,
+        checkpoint_interval: usize,
+    ) -> std::io::Result<ShardHandle> {
+        let (request_tx, request_rx) = std::sync::mpsc::channel();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name(format!("cts-shard-{shard}"))
+            .spawn(move || {
+                worker_loop(
+                    shard,
+                    window,
+                    config,
+                    checkpoint_interval,
+                    request_rx,
+                    reply_tx,
+                )
+            })?;
+        Ok(ShardHandle {
+            sender: request_tx,
+            receiver: reply_rx,
+            thread: Some(thread),
+        })
+    }
+
+    /// Number of worker shards (after any construction-time spawn
+    /// fallbacks).
     pub fn num_shards(&self) -> usize {
-        self.requests.len()
+        self.workers.len()
     }
 
     /// The sliding-window policy in force.
@@ -396,6 +907,11 @@ impl ShardedItaEngine {
     /// The configured rebalancing policy.
     pub fn rebalance_config(&self) -> RebalanceConfig {
         self.rebalance
+    }
+
+    /// The configured fault-tolerance policy.
+    pub fn fault_config(&self) -> FaultConfig {
+        self.faults
     }
 
     /// Replaces the rebalancing policy at runtime. Takes effect at the next
@@ -445,38 +961,560 @@ impl ShardedItaEngine {
     /// would then occupy only half the shards).
     pub fn shard_of(&self, query: QueryId) -> usize {
         let hashed = (u64::from(query.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((u128::from(hashed) * self.requests.len() as u128) >> 64) as usize
+        ((u128::from(hashed) * self.workers.len() as u128) >> 64) as usize
     }
 
-    fn shard_died(&self, shard: usize) -> ! {
-        panic!("shard {shard} worker disconnected — it panicked (see stderr for the root cause)");
+    /// Whether `query` is registered but hosted on a degraded shard — its
+    /// reported results are stale (empty) until
+    /// [`ShardedItaEngine::recover_degraded`] resurrects the shard. Only
+    /// observable under [`FaultPolicy::ServeDegraded`] (or
+    /// [`FaultPolicy::FailFast`] before an explicit recovery).
+    pub fn query_is_stale(&self, query: QueryId) -> bool {
+        self.assigned_shard(query)
+            .is_some_and(|shard| self.is_degraded(shard))
+    }
+
+    fn is_degraded(&self, shard: usize) -> bool {
+        self.fault_state.borrow().degraded[shard]
+    }
+
+    fn any_degraded(&self) -> bool {
+        self.fault_state.borrow().degraded.iter().any(|d| *d)
+    }
+
+    /// Marks a disconnect-discovered fault (the worker thread is gone, so
+    /// no [`FaultNotice`] counted it).
+    fn note_disconnect(&self, shard: usize) {
+        let mut state = self.fault_state.borrow_mut();
+        if !state.degraded[shard] {
+            state.stats.faults += 1;
+            state.degraded[shard] = true;
+        }
+    }
+
+    /// Folds a worker-side fault notice into the coordinator's counters.
+    fn absorb_notice(&self, notice: FaultNotice) {
+        if notice.faults == 0 && notice.recoveries == 0 {
+            return;
+        }
+        let mut state = self.fault_state.borrow_mut();
+        state.stats.faults += notice.faults;
+        state.stats.recoveries += notice.recoveries;
+        state.stats.recovery_micros += notice.recovery.as_micros() as u64;
+    }
+
+    /// Sends one request to `shard`, marking it degraded on disconnect.
+    fn send(&self, shard: usize, request: ShardRequest) -> Result<(), EngineError> {
+        if self.workers[shard].sender.send(request).is_err() {
+            self.note_disconnect(shard);
+            return Err(EngineError::ShardUnavailable { shard });
+        }
+        Ok(())
+    }
+
+    /// Receives one reply from `shard`, absorbing its fault notice and
+    /// converting faults/disconnects into typed errors (marking the shard
+    /// degraded).
+    fn recv_reply(&self, shard: usize) -> Result<ShardReply, EngineError> {
+        match self.workers[shard].receiver.recv() {
+            Ok((reply, notice)) => {
+                self.absorb_notice(notice);
+                match reply {
+                    ShardReply::Fault(fault) => {
+                        self.fault_state.borrow_mut().degraded[shard] = true;
+                        Err(EngineError::ShardFault(fault))
+                    }
+                    reply => Ok(reply),
+                }
+            }
+            Err(_) => {
+                self.note_disconnect(shard);
+                Err(EngineError::ShardUnavailable { shard })
+            }
+        }
     }
 
     /// Sends one request to `shard` and blocks for its reply.
-    fn call(&self, shard: usize, request: ShardRequest) -> ShardReply {
-        if self.requests[shard].send(request).is_err() {
-            self.shard_died(shard);
+    fn call_shard(&self, shard: usize, request: ShardRequest) -> Result<ShardReply, EngineError> {
+        self.send(shard, request)?;
+        self.recv_reply(shard)
+    }
+
+    /// Applies the degraded-mode policy to shards degraded by *previous*
+    /// operations, at the start of every mutating operation.
+    fn ensure_serviceable(&mut self) -> Result<(), EngineError> {
+        if !self.any_degraded() {
+            return Ok(());
         }
-        match self.replies[shard].recv() {
-            Ok(reply) => reply,
-            Err(_) => self.shard_died(shard),
+        match self.faults.policy {
+            FaultPolicy::BlockUntilRecovered => self.recover_degraded().map(|_| ()),
+            FaultPolicy::ServeDegraded => Ok(()),
+            FaultPolicy::FailFast => {
+                let shard = {
+                    let state = self.fault_state.borrow();
+                    state
+                        .degraded
+                        .iter()
+                        .position(|d| *d)
+                        .expect("a degraded shard exists")
+                };
+                Err(EngineError::ShardUnavailable { shard })
+            }
         }
     }
 
-    /// A query's ITA bookkeeping snapshot, if it is registered (served by
-    /// the shard currently hosting it).
+    /// Applies the degraded-mode policy to a fault observed *during* the
+    /// current operation (the shard is already marked degraded).
+    fn handle_shard_failure(&mut self, error: EngineError) -> Result<(), EngineError> {
+        match self.faults.policy {
+            FaultPolicy::FailFast => Err(error),
+            FaultPolicy::BlockUntilRecovered => self.recover_degraded().map(|_| ()),
+            FaultPolicy::ServeDegraded => Ok(()),
+        }
+    }
+
+    /// Resurrects every degraded shard from the durable registry + window
+    /// mirror, returning how many shards were rebuilt. Under
+    /// [`FaultPolicy::BlockUntilRecovered`] this happens automatically; the
+    /// other policies require this explicit call.
+    pub fn recover_degraded(&mut self) -> Result<usize, EngineError> {
+        let degraded: Vec<usize> = {
+            let state = self.fault_state.borrow();
+            state
+                .degraded
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d)
+                .map(|(shard, _)| shard)
+                .collect()
+        };
+        let mut recovered = 0;
+        for shard in degraded {
+            self.resurrect(shard)?;
+            recovered += 1;
+        }
+        Ok(recovered)
+    }
+
+    /// Cold resurrection of one shard: respawn the worker thread if it is
+    /// gone, then rebuild its engine from the durable registry and window
+    /// mirror. Rebuilt results are exact; re-derived thresholds (and hence
+    /// future work counters) are not guaranteed to match a fault-free
+    /// history — see DESIGN.md §10.
+    fn resurrect(&mut self, shard: usize) -> Result<(), EngineError> {
+        let start = Instant::now();
+        let queries: Vec<(QueryId, ContinuousQuery)> = self.placement[shard]
+            .iter()
+            .map(|qid| (*qid, self.registry[qid].clone()))
+            .collect();
+        let window_docs: Vec<Arc<Document>> = self.mirror.iter().cloned().collect();
+        let request = ShardRequest::Rebuild(window_docs, queries);
+        if let Err(failed_send) = self.workers[shard].sender.send(request) {
+            // The thread is gone, not just poisoned: respawn, then resend.
+            let request = failed_send.0;
+            self.respawn(shard)?;
+            self.workers[shard].sender.send(request).map_err(|_| {
+                self.note_disconnect(shard);
+                EngineError::ShardUnavailable { shard }
+            })?;
+        }
+        match self.recv_reply(shard)? {
+            ShardReply::Rebuilt => {
+                let mut state = self.fault_state.borrow_mut();
+                state.degraded[shard] = false;
+                state.stats.recoveries += 1;
+                state.stats.recovery_micros += start.elapsed().as_micros() as u64;
+                Ok(())
+            }
+            _ => unreachable!("shard replied out of order"),
+        }
+    }
+
+    /// Replaces a dead worker thread with a fresh one (empty engine, same
+    /// shard index), retrying the spawn once. The caller follows up with a
+    /// [`ShardRequest::Rebuild`].
+    fn respawn(&mut self, shard: usize) -> Result<(), EngineError> {
+        if let Some(thread) = self.workers[shard].thread.take() {
+            // The thread already exited (its channel disconnected); reap it.
+            let _ = thread.join();
+        }
+        let interval = self.faults.checkpoint_interval;
+        let handle = Self::spawn_worker(shard, self.window, self.config, interval).or_else(|_| {
+            self.fault_state.borrow_mut().stats.spawn_retries += 1;
+            Self::spawn_worker(shard, self.window, self.config, interval)
+        });
+        match handle {
+            Ok(handle) => {
+                self.workers[shard] = handle;
+                Ok(())
+            }
+            Err(_) => Err(EngineError::ShardUnavailable { shard }),
+        }
+    }
+
+    /// Appends `doc` to the durable window mirror and prunes it with the
+    /// exact policy the workers apply, returning how many documents expired
+    /// (cross-checked against the shards' outcomes in debug builds).
+    fn push_mirror(&mut self, doc: Arc<Document>) -> usize {
+        let now = doc.arrival;
+        self.mirror.push_back(doc);
+        let before = self.mirror.len();
+        match self.window.kind() {
+            WindowKind::CountBased { size } => {
+                while self.mirror.len() > size {
+                    self.mirror.pop_front();
+                }
+            }
+            WindowKind::TimeBased { duration_micros } => {
+                let cutoff = now.as_micros().saturating_sub(duration_micros);
+                while self
+                    .mirror
+                    .front()
+                    .is_some_and(|doc| doc.arrival.as_micros() < cutoff)
+                {
+                    self.mirror.pop_front();
+                }
+            }
+        }
+        before - self.mirror.len()
+    }
+
+    /// The healthy shard with the fewest resident queries (registration
+    /// reroute target while another shard is degraded).
+    fn lightest_healthy_shard(&self) -> Option<usize> {
+        let state = self.fault_state.borrow();
+        (0..self.workers.len())
+            .filter(|&shard| !state.degraded[shard])
+            .min_by_key(|&shard| self.placement[shard].len())
+    }
+
+    /// Fallible single-event processing: the `try_*` twin of
+    /// [`Engine::process_document`]. Under
+    /// [`FaultPolicy::BlockUntilRecovered`] (the default) a mid-event fault
+    /// is repaired before returning and the merged outcome is preserved
+    /// whenever the faulted shard could be restored warm or resent the
+    /// event; under [`FaultPolicy::ServeDegraded`] the healthy shards'
+    /// partial outcome is returned; under [`FaultPolicy::FailFast`] the
+    /// first fault surfaces as a typed error.
+    pub fn try_process(&mut self, doc: Document) -> Result<EventOutcome, EngineError> {
+        self.ensure_serviceable()?;
+        self.clock = doc.arrival;
+        let doc = Arc::new(doc);
+        let shards = self.workers.len();
+        let mut sent = vec![false; shards];
+        let mut first_error: Option<EngineError> = None;
+        for (shard, sent) in sent.iter_mut().enumerate() {
+            if self.is_degraded(shard) {
+                continue;
+            }
+            match self.send(shard, ShardRequest::Process(Arc::clone(&doc))) {
+                Ok(()) => *sent = true,
+                Err(err) => {
+                    let mut unresolved = Some(err);
+                    // The worker died before seeing the event. The mirror
+                    // does not contain it yet, so a rebuild here restores
+                    // the exact pre-event state, and resending makes the
+                    // restored shard process the event like every other
+                    // shard — the outcome is fully preserved.
+                    if self.faults.policy == FaultPolicy::BlockUntilRecovered
+                        && self.resurrect(shard).is_ok()
+                        && self
+                            .send(shard, ShardRequest::Process(Arc::clone(&doc)))
+                            .is_ok()
+                    {
+                        *sent = true;
+                        unresolved = None;
+                    }
+                    if let Some(err) = unresolved {
+                        first_error.get_or_insert(err);
+                    }
+                }
+            }
+        }
+        // The event becomes durable before outcomes are read: any recovery
+        // from here on replays it from the mirror.
+        let expired = self.push_mirror(Arc::clone(&doc));
+        let mut merged: Option<EventOutcome> = None;
+        for (shard, &sent) in sent.iter().enumerate() {
+            if !sent {
+                continue;
+            }
+            match self.recv_reply(shard) {
+                Ok(ShardReply::Processed(outcome)) => {
+                    debug_assert_eq!(
+                        outcome.expired, expired,
+                        "mirror disagreed with a shard's expirations"
+                    );
+                    match merged.as_mut() {
+                        Some(into) => into.merge_shard(&outcome),
+                        None => merged = Some(outcome),
+                    }
+                }
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(err) => {
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            self.handle_shard_failure(err)?;
+        }
+        if self.faults.policy == FaultPolicy::ServeDegraded && self.any_degraded() {
+            self.fault_state.borrow_mut().stats.events_during_degraded += 1;
+        }
+        Ok(merged.unwrap_or(EventOutcome {
+            arrived: doc.id,
+            expired,
+            ..EventOutcome::default()
+        }))
+    }
+
+    /// Fallible burst processing: the `try_*` twin of
+    /// [`Engine::process_batch`], with the same policy semantics as
+    /// [`ShardedItaEngine::try_process`]. An unrecoverable mid-batch fault
+    /// loses the faulted shard's outcome contributions for the whole batch
+    /// (its state is rebuilt post-batch from the mirror) — reachable only
+    /// with checkpointing disabled.
+    pub fn try_process_batch(
+        &mut self,
+        docs: Vec<Document>,
+    ) -> Result<Vec<EventOutcome>, EngineError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_serviceable()?;
+        self.clock = docs.last().expect("batch is non-empty").arrival;
+        let docs: Arc<[Arc<Document>]> = docs.into_iter().map(Arc::new).collect();
+        let shards = self.workers.len();
+        let mut sent = vec![false; shards];
+        let mut first_error: Option<EngineError> = None;
+        for (shard, sent) in sent.iter_mut().enumerate() {
+            if self.is_degraded(shard) {
+                continue;
+            }
+            match self.send(shard, ShardRequest::ProcessBatch(Arc::clone(&docs))) {
+                Ok(()) => *sent = true,
+                Err(err) => {
+                    let mut unresolved = Some(err);
+                    if self.faults.policy == FaultPolicy::BlockUntilRecovered
+                        && self.resurrect(shard).is_ok()
+                        && self
+                            .send(shard, ShardRequest::ProcessBatch(Arc::clone(&docs)))
+                            .is_ok()
+                    {
+                        *sent = true;
+                        unresolved = None;
+                    }
+                    if let Some(err) = unresolved {
+                        first_error.get_or_insert(err);
+                    }
+                }
+            }
+        }
+        let expired: Vec<usize> = docs
+            .iter()
+            .map(|doc| self.push_mirror(Arc::clone(doc)))
+            .collect();
+        let mut merged: Option<Vec<EventOutcome>> = None;
+        let mut batch_max = Duration::ZERO;
+        for (shard, &sent) in sent.iter().enumerate() {
+            if !sent {
+                continue;
+            }
+            match self.recv_reply(shard) {
+                Ok(ShardReply::ProcessedBatch(outcomes, max_event)) => {
+                    batch_max = batch_max.max(max_event);
+                    match merged.as_mut() {
+                        Some(into) => {
+                            debug_assert_eq!(
+                                outcomes.len(),
+                                into.len(),
+                                "shards saw different batches"
+                            );
+                            for (into, outcome) in into.iter_mut().zip(&outcomes) {
+                                into.merge_shard(outcome);
+                            }
+                        }
+                        None => merged = Some(outcomes),
+                    }
+                }
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(err) => {
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        self.batched_max_event = self.batched_max_event.max(batch_max);
+        if let Some(err) = first_error {
+            self.handle_shard_failure(err)?;
+        }
+        if self.faults.policy == FaultPolicy::ServeDegraded && self.any_degraded() {
+            self.fault_state.borrow_mut().stats.events_during_degraded += docs.len() as u64;
+        }
+        // The batch boundary is a safe point to repair skew: no event is in
+        // flight, so a migration cannot split an arrival from its
+        // expirations.
+        self.maybe_rebalance();
+        Ok(merged.unwrap_or_else(|| {
+            docs.iter()
+                .zip(&expired)
+                .map(|(doc, &expired)| EventOutcome {
+                    arrived: doc.id,
+                    expired,
+                    ..EventOutcome::default()
+                })
+                .collect()
+        }))
+    }
+
+    /// Fallible registration burst: the `try_*` twin of
+    /// [`Engine::register_batch`]. Durable state (registry, placement,
+    /// routing) is updated **before** the fan-out, so a worker fault during
+    /// registration is recoverable: the rebuild re-registers the batch from
+    /// the registry. Under [`FaultPolicy::ServeDegraded`], queries whose
+    /// hash shard is degraded are rerouted to the lightest healthy shard.
+    /// On error the durable state keeps the minted registrations; a later
+    /// [`ShardedItaEngine::recover_degraded`] makes the workers agree.
+    pub fn try_register_batch(
+        &mut self,
+        queries: Vec<ContinuousQuery>,
+    ) -> Result<Vec<QueryId>, EngineError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_serviceable()?;
+        let shards = self.workers.len();
+        if !(0..shards).any(|shard| !self.is_degraded(shard)) {
+            return Err(EngineError::ShardUnavailable { shard: 0 });
+        }
+        let mut per_shard: Vec<Vec<(QueryId, ContinuousQuery)>> = vec![Vec::new(); shards];
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in queries {
+            let qid = QueryId(self.next_query);
+            self.next_query += 1;
+            let mut shard = self.shard_of(qid);
+            if self.is_degraded(shard) {
+                shard = self
+                    .lightest_healthy_shard()
+                    .expect("a healthy shard exists (checked above)");
+            }
+            per_shard[shard].push((qid, query.clone()));
+            self.registry.insert(qid, query);
+            ids.push(qid);
+        }
+        // Durable state first: a fault from here on resurrects with the new
+        // queries included.
+        for (shard, group) in per_shard.iter().enumerate() {
+            for (qid, _) in group {
+                self.assignment.insert(*qid, shard);
+                self.placement[shard].push(*qid);
+                self.num_queries += 1;
+            }
+        }
+        // Send every shard's group before awaiting any reply, so the shards
+        // run their (window-sized) registration merges in parallel.
+        let mut pending = Vec::new();
+        let mut first_error: Option<EngineError> = None;
+        for (shard, group) in per_shard.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let group = std::mem::take(group);
+            match self.send(shard, ShardRequest::RegisterBatch(group)) {
+                Ok(()) => pending.push(shard),
+                Err(err) => {
+                    // No resend needed: the rebuild registers the group
+                    // straight from the registry.
+                    let mut unresolved = Some(err);
+                    if self.faults.policy == FaultPolicy::BlockUntilRecovered
+                        && self.resurrect(shard).is_ok()
+                    {
+                        unresolved = None;
+                    }
+                    if let Some(err) = unresolved {
+                        first_error.get_or_insert(err);
+                    }
+                }
+            }
+        }
+        for shard in pending {
+            match self.recv_reply(shard) {
+                Ok(ShardReply::Registered) => {}
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(err) => {
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            self.handle_shard_failure(err)?;
+        }
+        // One balance check for the whole burst: rebalancing is
+        // outcome-invisible (migration is behaviour-preserving), so checking
+        // once here instead of after every query changes placement only.
+        self.maybe_rebalance();
+        Ok(ids)
+    }
+
+    /// Fallible deregistration: the `try_*` twin of [`Engine::deregister`],
+    /// surfacing [`EngineError::UnknownQuery`] instead of `false`. Durable
+    /// state is updated first, so a worker fault during removal is
+    /// recoverable (the rebuild simply omits the query); removing a query
+    /// hosted on a degraded shard under [`FaultPolicy::ServeDegraded`] is
+    /// registry-only — the worker's copy dies with the eventual rebuild.
+    pub fn try_deregister(&mut self, query: QueryId) -> Result<bool, EngineError> {
+        self.ensure_serviceable()?;
+        let Some(shard) = self.assigned_shard(query) else {
+            return Err(EngineError::UnknownQuery(query));
+        };
+        self.assignment.remove(&query);
+        self.registry.remove(&query);
+        let at = self.placement[shard]
+            .iter()
+            .position(|&resident| resident == query)
+            .expect("routing table lists the query on its shard");
+        self.placement[shard].swap_remove(at);
+        self.num_queries -= 1;
+        if !self.is_degraded(shard) {
+            match self.call_shard(shard, ShardRequest::Deregister(query)) {
+                Ok(ShardReply::Deregistered(removed)) => {
+                    assert!(
+                        removed,
+                        "routing table said shard {shard} hosts {query}, shard disagreed"
+                    );
+                }
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(err) => {
+                    // Durable state already dropped the query; recovery
+                    // rebuilds the shard without it.
+                    self.handle_shard_failure(err)?;
+                }
+            }
+        }
+        self.maybe_rebalance();
+        Ok(true)
+    }
+
+    /// A query's ITA bookkeeping snapshot, if it is registered and its shard
+    /// is healthy (served by the shard currently hosting it; `None` while
+    /// the shard is degraded).
     pub fn query_stats(&self, query: QueryId) -> Option<ItaQueryStats> {
         let shard = self.assigned_shard(query)?;
-        match self.call(shard, ShardRequest::QueryStats(query)) {
-            ShardReply::QueryStats(stats) => stats,
-            _ => unreachable!("shard replied out of order"),
+        if self.is_degraded(shard) {
+            return None;
+        }
+        match self.call_shard(shard, ShardRequest::QueryStats(query)) {
+            Ok(ShardReply::QueryStats(stats)) => stats,
+            Ok(_) => unreachable!("shard replied out of order"),
+            Err(_) => None,
         }
     }
 
     /// Per-shard shadow-index statistics, in shard order. Postings sum to
     /// the sharded system's total index footprint (terms referenced by
-    /// queries in two shards are mirrored in both); every shard reports the
-    /// same document count.
+    /// queries in two shards are mirrored in both); every healthy shard
+    /// reports the same document count. Degraded shards report zeroed
+    /// stats.
     pub fn shard_index_stats(&self) -> Vec<IndexStats> {
         self.broadcast_collect(
             || ShardRequest::IndexStats,
@@ -484,11 +1522,12 @@ impl ShardedItaEngine {
                 ShardReply::IndexStats(stats) => stats,
                 _ => unreachable!("shard replied out of order"),
             },
+            |_| IndexStats::default(),
         )
     }
 
     /// Per-shard processing statistics (each worker times its own event
-    /// handling), in shard order.
+    /// handling), in shard order. Degraded shards report zeroed stats.
     pub fn shard_stats(&self) -> Vec<ProcessingStats> {
         self.broadcast_collect(
             || ShardRequest::Stats,
@@ -496,6 +1535,7 @@ impl ShardedItaEngine {
                 ShardReply::Stats(stats) => stats,
                 _ => unreachable!("shard replied out of order"),
             },
+            |_| ProcessingStats::default(),
         )
     }
 
@@ -508,6 +1548,9 @@ impl ShardedItaEngine {
         let acks = self.broadcast_collect(
             || ShardRequest::ResetStats,
             |reply| matches!(reply, ShardReply::StatsReset),
+            // A degraded shard's eventual rebuild starts from zeroed stats
+            // anyway.
+            |_| true,
         );
         assert!(acks.iter().all(|ok| *ok), "shard replied out of order");
         self.batched_max_event = Duration::ZERO;
@@ -526,24 +1569,62 @@ impl ShardedItaEngine {
         merged
     }
 
-    /// Fans one request to every shard, then collects the replies in shard
-    /// order (the fan-out/fan-in used for stream events and statistics).
+    /// Consumes the engine, draining and returning the exact aggregate of
+    /// the workers' final [`ProcessingStats`] through the shutdown
+    /// handshake (what a plain drop would discard).
+    pub fn shutdown(mut self) -> ProcessingStats {
+        self.drain()
+    }
+
+    /// The shutdown path shared by [`ShardedItaEngine::shutdown`] and
+    /// `Drop`: handshake each worker's final stats out, close the channels,
+    /// join the threads. Idempotent — the second call sees no workers.
+    fn drain(&mut self) -> ProcessingStats {
+        let mut merged = ProcessingStats::default();
+        for mut handle in self.workers.drain(..) {
+            if handle.sender.send(ShardRequest::Shutdown).is_ok() {
+                while let Ok((reply, _)) = handle.receiver.recv() {
+                    if let ShardReply::ShuttingDown(stats) = reply {
+                        merged.absorb(&stats);
+                        break;
+                    }
+                }
+            }
+            if let Some(thread) = handle.thread.take() {
+                if thread.join().is_err() && !std::thread::panicking() {
+                    panic!("a shard worker panicked; see stderr for the root cause");
+                }
+            }
+        }
+        merged
+    }
+
+    /// Fans one request to every healthy shard, then collects the replies
+    /// in shard order, substituting `fallback` for degraded or faulting
+    /// shards (the fan-out/fan-in used for stream events and statistics).
     fn broadcast_collect<T>(
         &self,
         mut request: impl FnMut() -> ShardRequest,
         mut unwrap: impl FnMut(ShardReply) -> T,
+        mut fallback: impl FnMut(usize) -> T,
     ) -> Vec<T> {
-        for (shard, sender) in self.requests.iter().enumerate() {
-            if sender.send(request()).is_err() {
-                self.shard_died(shard);
+        let shards = self.workers.len();
+        let mut sent = vec![false; shards];
+        for (shard, sent) in sent.iter_mut().enumerate() {
+            if self.is_degraded(shard) {
+                continue;
             }
+            *sent = self.send(shard, request()).is_ok();
         }
-        self.replies
-            .iter()
-            .enumerate()
-            .map(|(shard, receiver)| match receiver.recv() {
-                Ok(reply) => unwrap(reply),
-                Err(_) => self.shard_died(shard),
+        (0..shards)
+            .map(|shard| {
+                if !sent[shard] {
+                    return fallback(shard);
+                }
+                match self.recv_reply(shard) {
+                    Ok(reply) => unwrap(reply),
+                    Err(_) => fallback(shard),
+                }
             })
             .collect()
     }
@@ -553,12 +1634,13 @@ impl ShardedItaEngine {
     /// migration reduces imbalance, move the heaviest shard's most recently
     /// placed query to the lightest shard. Called at load-change and batch
     /// boundaries only — never between an arrival and its expirations — so
-    /// migration can never split an event.
+    /// migration can never split an event. Skipped entirely while any shard
+    /// is degraded (migration would touch unrecovered state).
     fn maybe_rebalance(&mut self) {
-        if !self.rebalance.enabled || self.requests.len() < 2 {
+        if !self.rebalance.enabled || self.workers.len() < 2 || self.any_degraded() {
             return;
         }
-        let ideal = self.num_queries as f64 / self.requests.len() as f64;
+        let ideal = self.num_queries as f64 / self.workers.len() as f64;
         let trigger = self.rebalance.max_over_ideal * ideal;
         for _ in 0..self.rebalance.max_migrations_per_check {
             let (heavy, _) = self
@@ -578,183 +1660,95 @@ impl ShardedItaEngine {
                 break;
             }
             let slot = self.placement[heavy].len() - 1;
-            self.migrate(heavy, slot, light);
+            if self.migrate(heavy, slot, light).is_err() {
+                // The faulting shard is marked degraded; the next
+                // operation's policy deals with it.
+                break;
+            }
         }
     }
 
     /// Moves the complete ITA state of the query at `placement[from][slot]`
-    /// to shard `to` (extract, install, reroute). Outcome-neutral by
+    /// to shard `to` (extract, reroute, install). Outcome-neutral by
     /// construction: the migrated thresholds and result set are installed
     /// verbatim and the receiving shadow index backfills any term that just
     /// became live, so every subsequent event is processed exactly as it
-    /// would have been on the old shard.
-    fn migrate(&mut self, from: usize, slot: usize, to: usize) {
+    /// would have been on the old shard. The routing tables move **between**
+    /// extract and install, so a fault on either side leaves durable state
+    /// pointing at the shard that should (re)build the query.
+    fn migrate(&mut self, from: usize, slot: usize, to: usize) -> Result<(), EngineError> {
         let qid = self.placement[from][slot];
-        let migration = match self.call(from, ShardRequest::Extract(qid)) {
+        let migration = match self.call_shard(from, ShardRequest::Extract(qid))? {
             ShardReply::Extracted(Some(migration)) => migration,
             ShardReply::Extracted(None) => {
                 panic!("rebalance: shard {from} does not host {qid} (routing table corrupt)")
             }
             _ => unreachable!("shard replied out of order"),
         };
-        match self.call(to, ShardRequest::Install(qid, migration)) {
-            ShardReply::Installed => {}
-            _ => unreachable!("shard replied out of order"),
-        }
         self.placement[from].swap_remove(slot);
         self.placement[to].push(qid);
         self.assignment.insert(qid, to);
         self.migrations += 1;
+        match self.call_shard(to, ShardRequest::Install(qid, migration))? {
+            ShardReply::Installed => Ok(()),
+            _ => unreachable!("shard replied out of order"),
+        }
+    }
+
+    /// Test hook for the chaos suite: makes `shard`'s worker thread exit
+    /// without replying, exactly as a killed thread would look from the
+    /// coordinator's side. The next operation that touches the shard
+    /// observes the disconnect and applies the fault policy. Returns whether
+    /// the crash request reached the worker.
+    pub fn inject_disconnect(&mut self, shard: usize) -> bool {
+        let shard = shard % self.workers.len();
+        self.workers[shard].sender.send(ShardRequest::Crash).is_ok()
     }
 }
 
 impl Engine for ShardedItaEngine {
     fn register(&mut self, query: ContinuousQuery) -> QueryId {
-        let qid = QueryId(self.next_query);
-        self.next_query += 1;
-        let shard = self.shard_of(qid);
-        match self.call(shard, ShardRequest::Register(qid, query)) {
-            ShardReply::Registered => {}
-            _ => unreachable!("shard replied out of order"),
-        }
-        self.assignment.insert(qid, shard);
-        self.placement[shard].push(qid);
-        self.num_queries += 1;
-        self.maybe_rebalance();
-        qid
+        self.register_batch(vec![query])
+            .pop()
+            .expect("one id per registered query")
     }
 
     fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        // Mint ids exactly as the per-query loop would, group by initial
-        // placement, then register each shard's whole group in ONE
-        // round-trip. The requests are sent before any reply is awaited, so
-        // the shards run their (window-sized) registration merges in
-        // parallel.
-        let shards = self.requests.len();
-        let mut per_shard: Vec<Vec<(QueryId, ContinuousQuery)>> = vec![Vec::new(); shards];
-        let mut ids = Vec::with_capacity(queries.len());
-        for query in queries {
-            let qid = QueryId(self.next_query);
-            self.next_query += 1;
-            per_shard[self.shard_of(qid)].push((qid, query));
-            ids.push(qid);
-        }
-        let mut pending = Vec::new();
-        for (shard, group) in per_shard.iter_mut().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            for (qid, _) in group.iter() {
-                self.assignment.insert(*qid, shard);
-                self.placement[shard].push(*qid);
-                self.num_queries += 1;
-            }
-            let group = std::mem::take(group);
-            if self.requests[shard]
-                .send(ShardRequest::RegisterBatch(group))
-                .is_err()
-            {
-                self.shard_died(shard);
-            }
-            pending.push(shard);
-        }
-        for shard in pending {
-            match self.replies[shard].recv() {
-                Ok(ShardReply::Registered) => {}
-                Ok(_) => unreachable!("shard replied out of order"),
-                Err(_) => self.shard_died(shard),
-            }
-        }
-        // One balance check for the whole burst: rebalancing is
-        // outcome-invisible (migration is behaviour-preserving), so checking
-        // once here instead of after every query changes placement only.
-        self.maybe_rebalance();
-        ids
+        self.try_register_batch(queries)
+            .unwrap_or_else(|err| panic!("sharded engine could not register: {err}"))
     }
 
     fn deregister(&mut self, query: QueryId) -> bool {
-        let Some(shard) = self.assigned_shard(query) else {
-            return false;
-        };
-        let removed = match self.call(shard, ShardRequest::Deregister(query)) {
-            ShardReply::Deregistered(removed) => removed,
-            _ => unreachable!("shard replied out of order"),
-        };
-        assert!(
-            removed,
-            "routing table said shard {shard} hosts {query}, shard disagreed"
-        );
-        self.assignment.remove(&query);
-        let at = self.placement[shard]
-            .iter()
-            .position(|&resident| resident == query)
-            .expect("routing table lists the query on its shard");
-        self.placement[shard].swap_remove(at);
-        self.num_queries -= 1;
-        self.maybe_rebalance();
-        true
+        match self.try_deregister(query) {
+            Ok(removed) => removed,
+            Err(EngineError::UnknownQuery(_)) => false,
+            Err(err) => panic!("sharded engine could not deregister: {err}"),
+        }
     }
 
     fn process_document(&mut self, doc: Document) -> EventOutcome {
-        self.clock = doc.arrival;
-        let doc = Arc::new(doc);
-        let outcomes = self.broadcast_collect(
-            || ShardRequest::Process(Arc::clone(&doc)),
-            |reply| match reply {
-                ShardReply::Processed(outcome) => outcome,
-                _ => unreachable!("shard replied out of order"),
-            },
-        );
-        let mut merged = outcomes[0];
-        for outcome in &outcomes[1..] {
-            merged.merge_shard(outcome);
-        }
-        merged
+        self.try_process(doc)
+            .unwrap_or_else(|err| panic!("sharded engine could not serve the event: {err}"))
     }
 
     fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
-        if docs.is_empty() {
-            return Vec::new();
-        }
-        self.clock = docs.last().expect("batch is non-empty").arrival;
-        let docs: Arc<[Arc<Document>]> = docs.into_iter().map(Arc::new).collect();
-        let mut batch_max = Duration::ZERO;
-        let per_shard = self.broadcast_collect(
-            || ShardRequest::ProcessBatch(Arc::clone(&docs)),
-            |reply| match reply {
-                ShardReply::ProcessedBatch(outcomes, max_event) => {
-                    batch_max = batch_max.max(max_event);
-                    outcomes
-                }
-                _ => unreachable!("shard replied out of order"),
-            },
-        );
-        self.batched_max_event = self.batched_max_event.max(batch_max);
-        let mut per_shard = per_shard.into_iter();
-        let mut merged = per_shard.next().expect("at least one shard");
-        for outcomes in per_shard {
-            debug_assert_eq!(outcomes.len(), merged.len(), "shards saw different batches");
-            for (into, outcome) in merged.iter_mut().zip(&outcomes) {
-                into.merge_shard(outcome);
-            }
-        }
-        // The batch boundary is a safe point to repair skew: no event is in
-        // flight, so a migration cannot split an arrival from its
-        // expirations.
-        self.maybe_rebalance();
-        merged
+        self.try_process_batch(docs)
+            .unwrap_or_else(|err| panic!("sharded engine could not serve the batch: {err}"))
     }
 
     fn current_results(&self, query: QueryId) -> Vec<RankedDocument> {
         let Some(shard) = self.assigned_shard(query) else {
             return Vec::new();
         };
-        match self.call(shard, ShardRequest::Results(query)) {
-            ShardReply::Results(results) => results,
-            _ => unreachable!("shard replied out of order"),
+        if self.is_degraded(shard) {
+            // Stale under ServeDegraded: the caller can distinguish "no
+            // matches" from "shard down" via `query_is_stale`.
+            return Vec::new();
+        }
+        match self.call_shard(shard, ShardRequest::Results(query)) {
+            Ok(ShardReply::Results(results)) => results,
+            Ok(_) => unreachable!("shard replied out of order"),
+            Err(_) => Vec::new(),
         }
     }
 
@@ -763,10 +1757,18 @@ impl Engine for ShardedItaEngine {
     }
 
     fn num_valid_documents(&self) -> usize {
-        match self.call(0, ShardRequest::NumValidDocuments) {
-            ShardReply::NumValidDocuments(count) => count,
-            _ => unreachable!("shard replied out of order"),
+        for shard in 0..self.workers.len() {
+            if self.is_degraded(shard) {
+                continue;
+            }
+            match self.call_shard(shard, ShardRequest::NumValidDocuments) {
+                Ok(ShardReply::NumValidDocuments(count)) => return count,
+                Ok(_) => unreachable!("shard replied out of order"),
+                Err(_) => continue,
+            }
         }
+        // Every worker is down; the mirror is the authoritative window.
+        self.mirror.len()
     }
 
     fn clock(&self) -> Timestamp {
@@ -780,21 +1782,32 @@ impl Engine for ShardedItaEngine {
     fn batched_max_event_time(&self) -> Option<Duration> {
         Some(self.batched_max_event)
     }
+
+    fn inject_fault(&mut self, shard: usize) -> bool {
+        let shard = shard % self.workers.len();
+        if self.is_degraded(shard) {
+            return false;
+        }
+        match self.call_shard(shard, ShardRequest::ArmFault) {
+            Ok(ShardReply::Armed) => true,
+            Ok(_) => unreachable!("shard replied out of order"),
+            Err(_) => false,
+        }
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        let state = self.fault_state.borrow();
+        let mut stats = state.stats;
+        stats.degraded_shards = state.degraded.iter().filter(|down| **down).count();
+        Some(stats)
+    }
 }
 
 impl Drop for ShardedItaEngine {
     fn drop(&mut self) {
-        // Closing the request channels is the shutdown signal; the
-        // supervisor's scope then joins every worker.
-        self.requests.clear();
-        if let Some(supervisor) = self.supervisor.take() {
-            if supervisor.join().is_err() && !std::thread::panicking() {
-                panic!("a shard worker panicked; see stderr for the root cause");
-            }
-        }
+        let _ = self.drain();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,5 +2092,80 @@ mod tests {
         // Reaching here without hanging means the workers exited and the
         // supervisor joined them.
         assert_eq!(handle, 2);
+    }
+
+    #[test]
+    fn spawn_with_retry_counts_retries_and_keeps_slots_contiguous() {
+        // Call 1 (slot 1) fails once then succeeds; calls 3 and 4 both fail,
+        // dropping one requested shard.
+        let mut calls = 0u32;
+        let mut spawn = |slot: usize| -> Result<usize, ()> {
+            calls += 1;
+            match calls {
+                2 | 4 | 5 => Err(()),
+                _ => Ok(slot),
+            }
+        };
+        let (spawned, retries, fallbacks) = spawn_with_retry(4, &mut spawn);
+        // The engine degrades to 3 shards; their slot indices stay 0..3
+        // because a dropped slot's index is reused by the next attempt.
+        assert_eq!(spawned, vec![0, 1, 2]);
+        assert_eq!(retries, 2);
+        assert_eq!(fallbacks, 1);
+    }
+
+    #[test]
+    fn spawn_with_retry_all_failures_yields_no_workers() {
+        let mut spawn = |_slot: usize| -> Result<usize, ()> { Err(()) };
+        let (spawned, retries, fallbacks) = spawn_with_retry(3, &mut spawn);
+        assert!(spawned.is_empty());
+        assert_eq!(retries, 3);
+        assert_eq!(fallbacks, 3);
+    }
+
+    #[test]
+    fn injected_fault_recovers_warm_and_stays_in_lockstep() {
+        let window = SlidingWindow::count_based(8);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let mut sharded = ShardedItaEngine::new(window, ItaConfig::default(), 2);
+        let mut qids = Vec::new();
+        for t in 0..6u32 {
+            let q = query(&[(t % 4, 0.6), (4 + t % 3, 0.4)], 2);
+            let qr = reference.register(q.clone());
+            let qs = sharded.register(q);
+            assert_eq!(qr, qs);
+            qids.push(qr);
+        }
+        for i in 0..40u64 {
+            if i % 9 == 3 {
+                assert!(sharded.inject_fault((i % 2) as usize), "arming failed");
+            }
+            let d = doc(i, &[((i % 6) as u32, 0.1 + (i % 5) as f64 * 0.12)]);
+            assert_lockstep_event(&mut reference, &mut sharded, &d, &qids);
+        }
+        let stats = sharded.fault_stats().expect("sharded engine tracks faults");
+        assert!(stats.faults >= 4, "expected every armed fault to fire");
+        assert_eq!(
+            stats.recoveries, stats.faults,
+            "every injected fault should recover warm"
+        );
+        assert_eq!(stats.degraded_shards, 0);
+        assert_eq!(stats.events_during_degraded, 0);
+        assert!(stats.recovery_micros > 0 || stats.recoveries == 0);
+    }
+
+    #[test]
+    fn shutdown_drains_final_worker_stats() {
+        let mut sharded =
+            ShardedItaEngine::new(SlidingWindow::count_based(4), ItaConfig::default(), 3);
+        sharded.register(query(&[(0, 1.0)], 1));
+        for i in 0..10u64 {
+            sharded.process_document(doc(i, &[(0, 0.5)]));
+        }
+        let merged = sharded.shutdown();
+        // Every shard saw every event, and the handshake preserved the
+        // counters a plain drop would discard.
+        assert_eq!(merged.events, 30);
+        assert!(merged.total_time > Duration::ZERO);
     }
 }

@@ -114,6 +114,17 @@ pub enum Op {
     Feed(Document),
     /// Feed a whole burst through [`Engine::process_batch`].
     FeedBatch(Vec<Document>),
+    /// Arm one injected fault on `shard % num_shards` via
+    /// [`Engine::inject_fault`] on **every** engine. Engines without fault
+    /// injection (the plain reference) treat it as a no-op, which is what
+    /// lets a chaos script run in lockstep: the faulting engine must recover
+    /// to byte-identical state while the reference never faulted at all. No
+    /// cross-engine comparison is made for this op.
+    InjectFault {
+        /// Pseudo-index of the shard to fault (taken modulo the engine's
+        /// shard count).
+        shard: usize,
+    },
 }
 
 fn write_composition(f: &mut fmt::Formatter<'_>, composition: &WeightedVector) -> fmt::Result {
@@ -129,7 +140,11 @@ fn write_composition(f: &mut fmt::Formatter<'_>, composition: &WeightedVector) -
 
 fn write_doc(f: &mut fmt::Formatter<'_>, doc: &Document) -> fmt::Result {
     write!(f, "{} @{}us ", doc.id, doc.arrival.as_micros())?;
-    write_composition(f, &doc.composition)
+    write_composition(f, &doc.composition)?;
+    if crate::fault::is_poison_document(doc) {
+        write!(f, " poison")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for Op {
@@ -160,6 +175,7 @@ impl fmt::Display for Op {
                 }
                 Ok(())
             }
+            Op::InjectFault { shard } => write!(f, "inject_fault shard%{shard}"),
         }
     }
 }
@@ -254,6 +270,14 @@ pub struct ScriptConfig {
     pub max_k: usize,
     /// Terms per document draw from `[1, max_doc_terms]`.
     pub max_doc_terms: usize,
+    /// Per-op probability of arming an injected fault on a random shard
+    /// ([`Op::InjectFault`]): the next event that shard processes is applied
+    /// and then the worker panics mid-request, forcing a recovery.
+    pub inject_fault_probability: f64,
+    /// Per-document probability of shipping a *poison document*
+    /// ([`crate::poison_document`]): every fault-injecting shard panics the
+    /// first time it sees one, while plain engines score it normally.
+    pub poison_probability: f64,
 }
 
 impl Default for ScriptConfig {
@@ -273,6 +297,8 @@ impl Default for ScriptConfig {
             max_query_terms: 3,
             max_k: 3,
             max_doc_terms: 5,
+            inject_fault_probability: 0.0,
+            poison_probability: 0.0,
         }
     }
 }
@@ -302,6 +328,19 @@ impl ScriptConfig {
             deregister_probability: 0.12,
             batch_probability: 0.35,
             ..Self::default()
+        }
+    }
+
+    /// The chaos shape: the churn storm with faults mixed in — frequent
+    /// injected worker faults and occasional poison documents on top of the
+    /// registration churn and batching. This is the fault-injection
+    /// differential axis: a fault-tolerant engine must stay in lockstep with
+    /// a fault-free reference *through* its own crashes and recoveries.
+    pub fn chaos_storm() -> Self {
+        Self {
+            inject_fault_probability: 0.10,
+            poison_probability: 0.02,
+            ..Self::churn_storm()
         }
     }
 }
@@ -349,13 +388,21 @@ pub fn generate_script(config: &ScriptConfig, seed: u64) -> OpScript {
         clock = clock.advance(std::time::Duration::from_millis(
             rng.below(config.max_gap_millis + 1) as u64,
         ));
-        let doc = random_document(rng, config, next_doc, clock);
+        let mut doc = random_document(rng, config, next_doc, clock);
+        if rng.chance(config.poison_probability) {
+            doc = crate::fault::poison_document(doc);
+        }
         next_doc += 1;
         doc
     };
     while emitted < config.events {
         if rng.chance(config.register_probability) {
             script.push(Op::Register(random_query(&mut rng, config)));
+        }
+        if rng.chance(config.inject_fault_probability) {
+            script.push(Op::InjectFault {
+                shard: rng.below(8),
+            });
         }
         if rng.chance(config.burst_register_probability) {
             let size = rng.range(2, config.max_burst_registers.max(2) + 1);
@@ -438,6 +485,14 @@ impl<E: Engine> Engine for LoopRegister<E> {
 
     fn batched_max_event_time(&self) -> Option<std::time::Duration> {
         self.0.batched_max_event_time()
+    }
+
+    fn inject_fault(&mut self, shard: usize) -> bool {
+        self.0.inject_fault(shard)
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.0.fault_stats()
     }
 }
 
@@ -610,6 +665,15 @@ pub fn run_script<'e>(
                             candidate.name()
                         )));
                     }
+                }
+            }
+            Op::InjectFault { shard } => {
+                // Armed on every engine; engines without fault injection
+                // no-op. Deliberately no comparison — whether a fault was
+                // armed is engine-specific, but every *subsequent* op's
+                // checks still must agree, which is the whole point.
+                for engine in engines.iter_mut() {
+                    engine.inject_fault(*shard);
                 }
             }
         }
@@ -811,6 +875,35 @@ mod tests {
             ..ScriptConfig::churn_storm()
         };
         assert_script_equivalence(make, &config, 0x7E57_0005);
+    }
+
+    #[test]
+    fn chaos_storm_scripts_carry_faults_and_poison() {
+        let config = ScriptConfig {
+            events: 200,
+            ..ScriptConfig::chaos_storm()
+        };
+        let script = generate_script(&config, 0x7E57_0006);
+        let injections = script
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::InjectFault { .. }))
+            .count();
+        assert!(injections > 0, "chaos storm armed no faults");
+        let poisoned = script
+            .ops
+            .iter()
+            .flat_map(|op| match op {
+                Op::Feed(doc) => std::slice::from_ref(doc).iter(),
+                Op::FeedBatch(docs) => docs.iter(),
+                _ => [].iter(),
+            })
+            .filter(|doc| crate::fault::is_poison_document(doc))
+            .count();
+        assert!(poisoned > 0, "chaos storm shipped no poison documents");
+        let rendered = script.to_string();
+        assert!(rendered.contains("inject_fault shard%"));
+        assert!(rendered.contains(" poison"));
     }
 
     #[test]

@@ -144,6 +144,10 @@ fn sharded_batches_equal_sharded_singles_on_the_same_stream() {
                         .collect();
                     assert_eq!(a, b, "op {i}: batch outcomes diverged from singles");
                 }
+                Op::InjectFault { shard } => {
+                    batched.inject_fault(*shard);
+                    singles.inject_fault(*shard);
+                }
             }
             for &q in &live {
                 assert_eq!(
