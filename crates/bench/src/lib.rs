@@ -6,7 +6,7 @@
 //! see byte-identical documents and queries.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs, unused_must_use)]
 
 pub mod sweep;
 

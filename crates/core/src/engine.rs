@@ -135,6 +135,15 @@ pub trait Engine {
     fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
+
+    /// Audits the engine's internal structural invariants, panicking with a
+    /// description on violation. The testkit lockstep runner calls this on
+    /// every engine after every op when the `invariant-checks` feature (or a
+    /// unit-test build) is active, so a differential suite catches a
+    /// corrupted structure at the op that corrupted it instead of at the
+    /// first divergent result. Engines without deep checks inherit this
+    /// no-op default.
+    fn check_invariants(&self) {}
 }
 
 /// Mutable references to engines are engines: harnesses that want to drive
@@ -194,6 +203,10 @@ impl<E: Engine + ?Sized> Engine for &mut E {
 
     fn fault_stats(&self) -> Option<FaultStats> {
         (**self).fault_stats()
+    }
+
+    fn check_invariants(&self) {
+        (**self).check_invariants()
     }
 }
 

@@ -316,6 +316,7 @@ impl ItaEngine {
         if self.index.num_cold() == 0 {
             return;
         }
+        // cts-lint: allow(panic-in-hot-path, callers pass ids taken from the live query slab)
         let state = self.queries.get(qid).expect("query exists");
         let cold: Vec<TermId> = state
             .thresholds
@@ -332,6 +333,7 @@ impl ItaEngine {
     /// then reconciles the per-list threshold trees with the new frontier.
     fn run_threshold_search(&mut self, qid: QueryId, register: bool) {
         self.ensure_query_terms_warm(qid);
+        // cts-lint: allow(panic-in-hot-path, callers pass ids taken from the live query slab)
         let state = self.queries.get_mut(qid).expect("query exists");
         let before: Vec<Weight> = state.thresholds.iter().map(|(_, theta)| *theta).collect();
         threshold_descent(&self.index, state);
@@ -370,6 +372,7 @@ impl ItaEngine {
         let touched = affected.len();
         let mut changed = 0;
         for &qid in &affected {
+            // cts-lint: allow(panic-in-hot-path, deregistration removes tree entries, so probes only yield live queries)
             let state = self.queries.get_mut(qid).expect("tree entries are live");
             state.arrivals_examined += 1;
             state.postings_examined += 1;
@@ -394,6 +397,7 @@ impl ItaEngine {
         let touched = affected.len();
         let mut changed = 0;
         for &qid in &affected {
+            // cts-lint: allow(panic-in-hot-path, deregistration removes tree entries, so probes only yield live queries)
             let state = self.queries.get_mut(qid).expect("tree entries are live");
             state.expirations_examined += 1;
             if !state.results.contains(doc.id) {
@@ -418,6 +422,7 @@ impl ItaEngine {
     /// documents whose only support was the reclaimed band (paper §III-C).
     fn roll_up(&mut self, qid: QueryId) {
         self.ensure_query_terms_warm(qid);
+        // cts-lint: allow(panic-in-hot-path, the only caller just looked the query up in the slab)
         let state = self.queries.get_mut(qid).expect("query exists");
         let k = state.query.k();
         loop {
@@ -462,6 +467,7 @@ impl ItaEngine {
                     .index
                     .store()
                     .get(doc)
+                    // cts-lint: allow(panic-in-hot-path, the band came from the index's own lists, which only reference stored documents)
                     .expect("banded documents are valid")
                     .composition;
                 let supported = state
@@ -479,6 +485,7 @@ impl ItaEngine {
             state.rollups += 1;
             self.trees
                 .get_mut(term)
+                // cts-lint: allow(panic-in-hot-path, registration filed a tree entry for every query term)
                 .expect("tree exists for query term")
                 .update(qid, old_theta, new_theta);
         }
@@ -532,8 +539,10 @@ fn threshold_descent(index: &InvertedIndex, state: &mut QueryState) {
                 let (tb, _) = state.thresholds[*j];
                 let ca = state.query.weight(ta).get() * a.weight.get();
                 let cb = state.query.weight(tb).get() * b.weight.get();
+                // cts-lint: allow(panic-in-hot-path, Weight::new rejects NaN, so products of weights compare totally)
                 ca.partial_cmp(&cb).expect("weights are not NaN")
             })
+            // cts-lint: allow(panic-in-hot-path, the stop test above returned unless some peek is Some)
             .expect("kth_score < tau_next implies an unexamined posting");
         // Examine the full tie group at that weight so the frontier is exact:
         // afterwards, every posting strictly above θ is guaranteed to be in R.
@@ -541,6 +550,7 @@ fn threshold_descent(index: &InvertedIndex, state: &mut QueryState) {
         let group_weight = posting.weight;
         let members: Vec<DocId> = index
             .list(term)
+            // cts-lint: allow(panic-in-hot-path, the chosen slot's peek came from this exact list)
             .expect("peeked list exists")
             .iter_at_or_below(group_weight)
             .take_while(|p| p.weight == group_weight)
@@ -553,6 +563,7 @@ fn threshold_descent(index: &InvertedIndex, state: &mut QueryState) {
             let composition = &index
                 .store()
                 .get(doc)
+                // cts-lint: allow(panic-in-hot-path, postings only reference documents held by the store)
                 .expect("indexed documents are valid")
                 .composition;
             let score = state.query.score(composition);
@@ -750,12 +761,94 @@ impl ItaEngine {
             let doc = self
                 .index
                 .remove_document(id)
+                // cts-lint: allow(panic-in-hot-path, the expiration set was computed from the same store one line up)
                 .expect("window reported a valid document");
             let (touched, changed) = self.handle_expiration(&doc);
             outcome.queries_touched_by_expiration += touched;
             outcome.results_changed += changed;
         }
         outcome
+    }
+
+    /// Audits the engine's deep structural invariants, panicking with a
+    /// description on violation (DESIGN.md §11): the inverted index's own
+    /// invariants, every threshold tree's strict ordering, two-way agreement
+    /// between tree entries and the live queries' recorded local thresholds,
+    /// result sets referencing only valid (windowed) documents, and — on
+    /// term-filtered engines — term refcounts equal to the number of live
+    /// referencing queries, with every cold term still referenced. Driven by
+    /// the testkit lockstep runner when the `invariant-checks` feature (or a
+    /// unit-test build) is active; far too expensive for production paths.
+    pub fn check_invariants(&self) {
+        self.index.check_invariants();
+        for (term, tree) in self.trees.iter() {
+            assert!(
+                !tree.is_empty(),
+                "empty threshold tree for {term} was not retired"
+            );
+            tree.check_invariants();
+            for entry in tree.iter() {
+                let Some(state) = self.queries.get(entry.query) else {
+                    // cts-lint: allow(panic-in-hot-path, audit-only diagnostics, never on a hot path)
+                    panic!(
+                        "threshold tree for {term} references dead query {}",
+                        entry.query
+                    );
+                };
+                assert!(
+                    state
+                        .thresholds
+                        .iter()
+                        .any(|(t, theta)| *t == term && *theta == entry.threshold),
+                    "tree entry θ={} for {} in {term} disagrees with the query's recorded thresholds",
+                    entry.threshold,
+                    entry.query
+                );
+            }
+        }
+        let mut live_refs: Vec<u32> = Vec::new();
+        for (qid, state) in self.queries.iter() {
+            for (term, theta) in &state.thresholds {
+                let Some(tree) = self.trees.get(*term) else {
+                    // cts-lint: allow(panic-in-hot-path, audit-only diagnostics, never on a hot path)
+                    panic!("no threshold tree covers {qid}'s term {term}");
+                };
+                assert!(
+                    tree.iter().any(|e| e.query == qid && e.threshold == *theta),
+                    "{qid}'s recorded threshold θ={theta} for {term} is missing from the tree"
+                );
+                let slot = term.0 as usize;
+                if slot >= live_refs.len() {
+                    live_refs.resize(slot + 1, 0);
+                }
+                live_refs[slot] += 1;
+            }
+            for ranked in state.results.iter() {
+                assert!(
+                    self.index.store().get(ranked.doc).is_some(),
+                    "{qid}'s result set holds expired document {}",
+                    ranked.doc
+                );
+            }
+        }
+        if let Some(filter) = &self.term_filter {
+            for slot in 0..live_refs.len().max(filter.counts.len()) {
+                let counted = filter.counts.get(slot).copied().unwrap_or(0);
+                let live = live_refs.get(slot).copied().unwrap_or(0);
+                assert_eq!(
+                    counted,
+                    live,
+                    "term {} refcount {counted} disagrees with {live} live referencing queries",
+                    TermId(slot as u32)
+                );
+            }
+            for term in self.index.cold_terms() {
+                assert!(
+                    filter.contains(term),
+                    "{term} is cold in the shadow index but no live query references it"
+                );
+            }
+        }
     }
 }
 
@@ -810,6 +903,10 @@ impl Engine for ItaEngine {
 
     fn name(&self) -> &'static str {
         "ita"
+    }
+
+    fn check_invariants(&self) {
+        ItaEngine::check_invariants(self)
     }
 }
 

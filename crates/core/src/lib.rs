@@ -46,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs, unused_must_use)]
 
 pub mod engine;
 pub mod fault;

@@ -12,6 +12,7 @@
 //! score-ordered traversal, `S_k` (the k-th best score), membership tests and
 //! point updates — all in `O(log |R|)`.
 
+// cts-lint: allow(nondet-iteration, the score map is point-lookup only; all traversal goes through the BTreeSet)
 use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
@@ -54,7 +55,7 @@ impl PartialOrd for ScoreKey {
 #[derive(Debug, Clone, Default)]
 pub struct ResultSet {
     ordered: BTreeSet<ScoreKey>,
-    scores: HashMap<DocId, Weight>,
+    scores: HashMap<DocId, Weight>, // cts-lint: allow(nondet-iteration, point lookups only; never iterated)
 }
 
 impl ResultSet {

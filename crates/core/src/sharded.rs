@@ -104,6 +104,7 @@
 //! injected and recovered mid-stream.
 
 use std::cell::RefCell;
+// cts-lint: allow(nondet-iteration, every map below is point-lookup only; nothing iterates their order)
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
@@ -166,6 +167,12 @@ enum ShardRequest {
     /// term-filtered engine, the given queries registered, the given window
     /// replayed. Clears any poisoning.
     Rebuild(Vec<Arc<Document>>, Vec<(QueryId, ContinuousQuery)>),
+    /// Audit the shard engine's deep structural invariants (synchronous;
+    /// replies [`ShardReply::InvariantsChecked`]). A violation panics inside
+    /// the worker's guard and surfaces as a [`ShardReply::Fault`] carrying
+    /// the assertion message. Driven by the testkit lockstep runner under
+    /// the `invariant-checks` feature; never sent on production paths.
+    CheckInvariants,
     /// Drain the worker's final stats and exit the thread (the shutdown
     /// handshake that keeps stats from being lost on drop).
     Shutdown,
@@ -196,6 +203,8 @@ enum ShardReply {
     NumValidDocuments(usize),
     Armed,
     Rebuilt,
+    /// The shard's engine passed its structural audit.
+    InvariantsChecked,
     /// The worker's final stats, sent once in response to
     /// [`ShardRequest::Shutdown`] just before the thread exits.
     ShuttingDown(ProcessingStats),
@@ -290,7 +299,7 @@ struct ShardWorker {
     armed_faults: u32,
     /// Poison documents already detonated once — consumed pre-attempt so
     /// the post-recovery retry (and any rebuild replay) runs clean.
-    seen_poison: HashSet<u64>,
+    seen_poison: HashSet<u64>, // cts-lint: allow(nondet-iteration, membership probes only; never iterated)
     /// The fault that poisoned the shard, replayed to callers until rebuilt.
     pending_fault: Option<ShardFault>,
 }
@@ -317,7 +326,7 @@ impl ShardWorker {
             stats: ProcessingStats::default(),
             notice: FaultNotice::default(),
             armed_faults: 0,
-            seen_poison: HashSet::new(),
+            seen_poison: HashSet::new(), // cts-lint: allow(nondet-iteration, membership probes only; never iterated)
             pending_fault: None,
         }
     }
@@ -369,7 +378,7 @@ impl ShardWorker {
         let Some(checkpoint) = self.checkpoint.as_deref() else {
             return false;
         };
-        let start = Instant::now();
+        let start = Instant::now(); // cts-lint: allow(clock-in-apply, measures recovery cost only; never read by engine state)
         let mut engine = checkpoint.clone();
         for op in &self.log {
             op.apply(&mut engine);
@@ -422,7 +431,7 @@ impl ShardWorker {
                 }
             }
         }
-        unreachable!("both attempts return")
+        unreachable!("both attempts return") // cts-lint: allow(panic-in-hot-path, the two-attempt loop returns on every arm)
     }
 
     /// Processes one stream event under the guard, recording stats for the
@@ -438,10 +447,11 @@ impl ShardWorker {
                 return Err(self.pending());
             };
             let injected = std::mem::take(&mut inject);
-            let start = Instant::now();
+            let start = Instant::now(); // cts-lint: allow(clock-in-apply, times the event for stats; never read by engine state)
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let value = op.apply(engine);
                 if injected {
+                    // cts-lint: allow(panic-in-hot-path, deliberate injected fault; the recovery machinery under test)
                     panic!("injected fault while processing document {}", doc_id.0);
                 }
                 value
@@ -453,7 +463,7 @@ impl ShardWorker {
                     self.log_mutation(op);
                     return Ok((outcome, elapsed));
                 }
-                Ok(_) => unreachable!("a Process op yields Processed"),
+                Ok(_) => unreachable!("a Process op yields Processed"), // cts-lint: allow(panic-in-hot-path, LogOp::apply maps Process to Processed)
                 Err(payload) => {
                     let context = panic_message(payload.as_ref());
                     self.notice.faults += 1;
@@ -469,7 +479,7 @@ impl ShardWorker {
                 }
             }
         }
-        unreachable!("both attempts return")
+        unreachable!("both attempts return") // cts-lint: allow(panic-in-hot-path, the two-attempt loop returns on every arm)
     }
 
     /// Serves one request with the outer panic guard: anything that escapes
@@ -498,7 +508,7 @@ impl ShardWorker {
             },
             ShardRequest::Deregister(qid) => match self.mutate(LogOp::Deregister(qid)) {
                 Ok(LogValue::Deregistered(removed)) => ShardReply::Deregistered(removed),
-                Ok(_) => unreachable!("a Deregister op yields Deregistered"),
+                Ok(_) => unreachable!("a Deregister op yields Deregistered"), // cts-lint: allow(panic-in-hot-path, LogOp::apply maps Deregister to Deregistered)
                 Err(fault) => ShardReply::Fault(fault),
             },
             ShardRequest::Process(doc) => match self.process_one(doc) {
@@ -526,7 +536,7 @@ impl ShardWorker {
             }
             ShardRequest::Extract(qid) => match self.mutate(LogOp::Extract(qid)) {
                 Ok(LogValue::Extracted(migration)) => ShardReply::Extracted(migration),
-                Ok(_) => unreachable!("an Extract op yields Extracted"),
+                Ok(_) => unreachable!("an Extract op yields Extracted"), // cts-lint: allow(panic-in-hot-path, LogOp::apply maps Extract to Extracted)
                 Err(fault) => ShardReply::Fault(fault),
             },
             ShardRequest::Install(qid, migration) => {
@@ -560,6 +570,15 @@ impl ShardWorker {
                 self.armed_faults += 1;
                 ShardReply::Armed
             }
+            ShardRequest::CheckInvariants => match self.engine.as_ref() {
+                Some(engine) => {
+                    // A violation panics right here; `guarded` converts it
+                    // into a `Fault` reply carrying the assertion message.
+                    engine.check_invariants();
+                    ShardReply::InvariantsChecked
+                }
+                None => ShardReply::Fault(self.pending()),
+            },
             ShardRequest::Rebuild(window_docs, queries) => {
                 // Cold resurrection from the coordinator's durable state:
                 // register the queries, then replay the window as arrivals.
@@ -582,6 +601,7 @@ impl ShardWorker {
                 ShardReply::Rebuilt
             }
             ShardRequest::Shutdown | ShardRequest::Crash => {
+                // cts-lint: allow(panic-in-hot-path, the worker loop intercepts lifecycle requests before handle)
                 unreachable!("lifecycle requests are handled by the worker loop")
             }
         }
@@ -745,7 +765,7 @@ pub struct ShardedItaEngine {
     /// The routing table: which shard currently hosts each registered query.
     /// Starts as the hash placement of [`ShardedItaEngine::shard_of`];
     /// migrations move entries.
-    assignment: HashMap<QueryId, usize>,
+    assignment: HashMap<QueryId, usize>, // cts-lint: allow(nondet-iteration, point lookups only; never iterated)
     /// Per-shard resident query ids (registration order). `placement[s].len()`
     /// is shard `s`'s query load.
     placement: Vec<Vec<QueryId>>,
@@ -753,7 +773,7 @@ pub struct ShardedItaEngine {
     /// `mirror`, everything cold resurrection needs. Updated **before** any
     /// fan-out, so a request lost to a crashed worker is still
     /// reconstructible.
-    registry: HashMap<QueryId, ContinuousQuery>,
+    registry: HashMap<QueryId, ContinuousQuery>, // cts-lint: allow(nondet-iteration, indexed in placement order; never iterated)
     /// Durable mirror of the sliding window (oldest first), pruned with the
     /// exact policy the workers apply. The `Arc`s are shared with the
     /// workers' stores, so the mirror costs pointers, not documents.
@@ -841,9 +861,9 @@ impl ShardedItaEngine {
             config,
             rebalance,
             faults,
-            assignment: HashMap::new(),
+            assignment: HashMap::new(), // cts-lint: allow(nondet-iteration, point lookups only; never iterated)
             placement: vec![Vec::new(); spawned],
-            registry: HashMap::new(),
+            registry: HashMap::new(), // cts-lint: allow(nondet-iteration, indexed in placement order; never iterated)
             mirror: VecDeque::new(),
             fault_state: RefCell::new(FaultState {
                 stats: FaultStats {
@@ -1056,6 +1076,7 @@ impl ShardedItaEngine {
                         .degraded
                         .iter()
                         .position(|d| *d)
+                        // cts-lint: allow(panic-in-hot-path, guarded by the any_degraded early return above)
                         .expect("a degraded shard exists")
                 };
                 Err(EngineError::ShardUnavailable { shard })
@@ -1102,7 +1123,7 @@ impl ShardedItaEngine {
     /// future work counters) are not guaranteed to match a fault-free
     /// history — see DESIGN.md §10.
     fn resurrect(&mut self, shard: usize) -> Result<(), EngineError> {
-        let start = Instant::now();
+        let start = Instant::now(); // cts-lint: allow(clock-in-apply, measures recovery cost only; never read by engine state)
         let queries: Vec<(QueryId, ContinuousQuery)> = self.placement[shard]
             .iter()
             .map(|qid| (*qid, self.registry[qid].clone()))
@@ -1126,7 +1147,7 @@ impl ShardedItaEngine {
                 state.stats.recovery_micros += start.elapsed().as_micros() as u64;
                 Ok(())
             }
-            _ => unreachable!("shard replied out of order"),
+            _ => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
         }
     }
 
@@ -1250,7 +1271,7 @@ impl ShardedItaEngine {
                         None => merged = Some(outcome),
                     }
                 }
-                Ok(_) => unreachable!("shard replied out of order"),
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
                 Err(err) => {
                     first_error.get_or_insert(err);
                 }
@@ -1283,6 +1304,7 @@ impl ShardedItaEngine {
             return Ok(Vec::new());
         }
         self.ensure_serviceable()?;
+        // cts-lint: allow(panic-in-hot-path, guarded by the is_empty early return above)
         self.clock = docs.last().expect("batch is non-empty").arrival;
         let docs: Arc<[Arc<Document>]> = docs.into_iter().map(Arc::new).collect();
         let shards = self.workers.len();
@@ -1338,7 +1360,7 @@ impl ShardedItaEngine {
                         None => merged = Some(outcomes),
                     }
                 }
-                Ok(_) => unreachable!("shard replied out of order"),
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
                 Err(err) => {
                     first_error.get_or_insert(err);
                 }
@@ -1396,6 +1418,7 @@ impl ShardedItaEngine {
             if self.is_degraded(shard) {
                 shard = self
                     .lightest_healthy_shard()
+                    // cts-lint: allow(panic-in-hot-path, guarded by the all-degraded early return above)
                     .expect("a healthy shard exists (checked above)");
             }
             per_shard[shard].push((qid, query.clone()));
@@ -1440,7 +1463,7 @@ impl ShardedItaEngine {
         for shard in pending {
             match self.recv_reply(shard) {
                 Ok(ShardReply::Registered) => {}
-                Ok(_) => unreachable!("shard replied out of order"),
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
                 Err(err) => {
                     first_error.get_or_insert(err);
                 }
@@ -1472,6 +1495,7 @@ impl ShardedItaEngine {
         let at = self.placement[shard]
             .iter()
             .position(|&resident| resident == query)
+            // cts-lint: allow(panic-in-hot-path, assignment and placement move together; check_invariants audits the agreement)
             .expect("routing table lists the query on its shard");
         self.placement[shard].swap_remove(at);
         self.num_queries -= 1;
@@ -1483,7 +1507,7 @@ impl ShardedItaEngine {
                         "routing table said shard {shard} hosts {query}, shard disagreed"
                     );
                 }
-                Ok(_) => unreachable!("shard replied out of order"),
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
                 Err(err) => {
                     // Durable state already dropped the query; recovery
                     // rebuilds the shard without it.
@@ -1505,7 +1529,7 @@ impl ShardedItaEngine {
         }
         match self.call_shard(shard, ShardRequest::QueryStats(query)) {
             Ok(ShardReply::QueryStats(stats)) => stats,
-            Ok(_) => unreachable!("shard replied out of order"),
+            Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
             Err(_) => None,
         }
     }
@@ -1520,7 +1544,7 @@ impl ShardedItaEngine {
             || ShardRequest::IndexStats,
             |reply| match reply {
                 ShardReply::IndexStats(stats) => stats,
-                _ => unreachable!("shard replied out of order"),
+                _ => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
             },
             |_| IndexStats::default(),
         )
@@ -1533,7 +1557,7 @@ impl ShardedItaEngine {
             || ShardRequest::Stats,
             |reply| match reply {
                 ShardReply::Stats(stats) => stats,
-                _ => unreachable!("shard replied out of order"),
+                _ => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
             },
             |_| ProcessingStats::default(),
         )
@@ -1592,6 +1616,7 @@ impl ShardedItaEngine {
             }
             if let Some(thread) = handle.thread.take() {
                 if thread.join().is_err() && !std::thread::panicking() {
+                    // cts-lint: allow(panic-in-hot-path, shutdown path surfacing a worker panic that escaped the guards)
                     panic!("a shard worker panicked; see stderr for the root cause");
                 }
             }
@@ -1648,12 +1673,14 @@ impl ShardedItaEngine {
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, resident)| resident.len())
+                // cts-lint: allow(panic-in-hot-path, construction asserts the engine owns at least one shard)
                 .expect("at least one shard");
             let (light, _) = self
                 .placement
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, resident)| resident.len())
+                // cts-lint: allow(panic-in-hot-path, construction asserts the engine owns at least one shard)
                 .expect("at least one shard");
             let (high, low) = (self.placement[heavy].len(), self.placement[light].len());
             if (high as f64) <= trigger || high - low < 2 {
@@ -1681,9 +1708,10 @@ impl ShardedItaEngine {
         let migration = match self.call_shard(from, ShardRequest::Extract(qid))? {
             ShardReply::Extracted(Some(migration)) => migration,
             ShardReply::Extracted(None) => {
+                // cts-lint: allow(panic-in-hot-path, a corrupt routing table is unrecoverable; check_invariants audits it)
                 panic!("rebalance: shard {from} does not host {qid} (routing table corrupt)")
             }
-            _ => unreachable!("shard replied out of order"),
+            _ => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
         };
         self.placement[from].swap_remove(slot);
         self.placement[to].push(qid);
@@ -1691,7 +1719,7 @@ impl ShardedItaEngine {
         self.migrations += 1;
         match self.call_shard(to, ShardRequest::Install(qid, migration))? {
             ShardReply::Installed => Ok(()),
-            _ => unreachable!("shard replied out of order"),
+            _ => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
         }
     }
 
@@ -1710,11 +1738,13 @@ impl Engine for ShardedItaEngine {
     fn register(&mut self, query: ContinuousQuery) -> QueryId {
         self.register_batch(vec![query])
             .pop()
+            // cts-lint: allow(panic-in-hot-path, register_batch returns exactly one id per query)
             .expect("one id per registered query")
     }
 
     fn register_batch(&mut self, queries: Vec<ContinuousQuery>) -> Vec<QueryId> {
         self.try_register_batch(queries)
+            // cts-lint: allow(panic-in-hot-path, the infallible Engine surface; typed errors live on the try_* twin)
             .unwrap_or_else(|err| panic!("sharded engine could not register: {err}"))
     }
 
@@ -1722,17 +1752,20 @@ impl Engine for ShardedItaEngine {
         match self.try_deregister(query) {
             Ok(removed) => removed,
             Err(EngineError::UnknownQuery(_)) => false,
+            // cts-lint: allow(panic-in-hot-path, the infallible Engine surface; typed errors live on the try_* twin)
             Err(err) => panic!("sharded engine could not deregister: {err}"),
         }
     }
 
     fn process_document(&mut self, doc: Document) -> EventOutcome {
         self.try_process(doc)
+            // cts-lint: allow(panic-in-hot-path, the infallible Engine surface; typed errors live on the try_* twin)
             .unwrap_or_else(|err| panic!("sharded engine could not serve the event: {err}"))
     }
 
     fn process_batch(&mut self, docs: Vec<Document>) -> Vec<EventOutcome> {
         self.try_process_batch(docs)
+            // cts-lint: allow(panic-in-hot-path, the infallible Engine surface; typed errors live on the try_* twin)
             .unwrap_or_else(|err| panic!("sharded engine could not serve the batch: {err}"))
     }
 
@@ -1747,7 +1780,7 @@ impl Engine for ShardedItaEngine {
         }
         match self.call_shard(shard, ShardRequest::Results(query)) {
             Ok(ShardReply::Results(results)) => results,
-            Ok(_) => unreachable!("shard replied out of order"),
+            Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
             Err(_) => Vec::new(),
         }
     }
@@ -1763,7 +1796,7 @@ impl Engine for ShardedItaEngine {
             }
             match self.call_shard(shard, ShardRequest::NumValidDocuments) {
                 Ok(ShardReply::NumValidDocuments(count)) => return count,
-                Ok(_) => unreachable!("shard replied out of order"),
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
                 Err(_) => continue,
             }
         }
@@ -1790,7 +1823,7 @@ impl Engine for ShardedItaEngine {
         }
         match self.call_shard(shard, ShardRequest::ArmFault) {
             Ok(ShardReply::Armed) => true,
-            Ok(_) => unreachable!("shard replied out of order"),
+            Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
             Err(_) => false,
         }
     }
@@ -1800,6 +1833,59 @@ impl Engine for ShardedItaEngine {
         let mut stats = state.stats;
         stats.degraded_shards = state.degraded.iter().filter(|down| **down).count();
         Some(stats)
+    }
+
+    /// Audits the coordinator's durable state (registry, routing table and
+    /// placement must agree exactly — they are what cold resurrection
+    /// rebuilds shards from) and then has every healthy worker audit its own
+    /// engine via [`ShardRequest::CheckInvariants`]; a worker-side violation
+    /// comes back as a fault carrying the assertion message and is re-raised
+    /// here. Degraded shards are skipped — their state is gone by
+    /// definition and the rebuild starts from the durable state just
+    /// audited.
+    fn check_invariants(&self) {
+        assert_eq!(
+            self.assignment.len(),
+            self.num_queries,
+            "routing table size disagrees with the query count"
+        );
+        assert_eq!(
+            self.registry.len(),
+            self.num_queries,
+            "query registry size disagrees with the query count"
+        );
+        let placed: usize = self.placement.iter().map(Vec::len).sum();
+        assert_eq!(
+            placed, self.num_queries,
+            "placement tables hold {placed} residents over {} queries",
+            self.num_queries
+        );
+        for (shard, resident) in self.placement.iter().enumerate() {
+            for qid in resident {
+                assert_eq!(
+                    self.assignment.get(qid).copied(),
+                    Some(shard),
+                    "{qid} is resident on shard {shard} but routed elsewhere"
+                );
+                assert!(
+                    self.registry.contains_key(qid),
+                    "{qid} is placed but missing from the durable registry"
+                );
+            }
+        }
+        for shard in 0..self.workers.len() {
+            if self.is_degraded(shard) {
+                continue;
+            }
+            match self.call_shard(shard, ShardRequest::CheckInvariants) {
+                Ok(ShardReply::InvariantsChecked) => {}
+                Ok(_) => unreachable!("shard replied out of order"), // cts-lint: allow(panic-in-hot-path, the SPSC protocol pairs every reply with its request)
+                Err(err) => {
+                    // cts-lint: allow(panic-in-hot-path, audit-only path re-raising a worker-side assertion)
+                    panic!("shard {shard} failed its invariant audit: {err}")
+                }
+            }
+        }
     }
 }
 

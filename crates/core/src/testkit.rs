@@ -494,6 +494,10 @@ impl<E: Engine> Engine for LoopRegister<E> {
     fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         self.0.fault_stats()
     }
+
+    fn check_invariants(&self) {
+        self.0.check_invariants()
+    }
 }
 
 /// Knobs of [`run_script`].
@@ -677,6 +681,16 @@ pub fn run_script<'e>(
                 }
             }
         }
+        // Deep structural audit of every engine after every op, active in
+        // unit-test builds and under the `invariant-checks` feature (the CI
+        // arm integration suites use — integration tests link the lib
+        // *without* cfg(test)). An `Engine::check_invariants` panic here
+        // pins a corrupted structure to the op that corrupted it, instead of
+        // the first divergent result many ops later.
+        #[cfg(any(test, feature = "invariant-checks"))]
+        for engine in engines.iter() {
+            engine.check_invariants();
+        }
         let feed_op = matches!(op, Op::Feed(_) | Op::FeedBatch(_));
         if feed_op && feeds.is_multiple_of(options.check_every.max(1)) {
             check_results(engines, &live, options.sample_stride, op_index)?;
@@ -691,6 +705,11 @@ pub fn run_script<'e>(
                 }
             }
         }
+    }
+    // Final structural audit regardless of feature gating: even a plain
+    // integration-test build gets one end-of-script audit per engine.
+    for engine in engines.iter() {
+        engine.check_invariants();
     }
     // Final checkpoint regardless of stride/cadence.
     check_results(engines, &live, 1, script.ops.len().saturating_sub(1))

@@ -45,7 +45,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs, unused_must_use)]
 
 pub mod arrivals;
 pub mod config;

@@ -37,7 +37,7 @@
 //! expirations have no list to clean, so a later materialisation over the
 //! current store yields exactly the postings an always-warm list would hold.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -63,8 +63,11 @@ pub struct InvertedIndex {
     store: DocumentStore,
     lists: TermArena<InvertedList>,
     /// Terms live in the owner's filter but intentionally without a private
-    /// list yet — served from the shared store until first touch.
-    cold: HashSet<TermId>,
+    /// list yet — served from the shared store until first touch. A `BTreeSet`
+    /// on purpose: anything that sweeps the cold set (idle materialisation,
+    /// diagnostics) observes the terms in sorted order, so no replayed or
+    /// differential path can depend on hash-iteration order.
+    cold: BTreeSet<TermId>,
     /// Impact entries filed by registration-path backfills (satellite
     /// regression counter: must scale with the probed lists, never with the
     /// window × registration count product of the old eager path).
@@ -83,7 +86,7 @@ impl InvertedIndex {
         Self {
             store: DocumentStore::with_capacity(docs),
             lists: TermArena::with_capacity(docs.saturating_mul(terms_per_doc) / 4),
-            cold: HashSet::new(),
+            cold: BTreeSet::new(),
             register_postings_touched: 0,
         }
     }
@@ -256,8 +259,9 @@ impl InvertedIndex {
         self.cold.len()
     }
 
-    /// The currently cold terms, in unspecified order — for batch-idle
-    /// materialisation sweeps.
+    /// The currently cold terms, in increasing term-id order — for batch-idle
+    /// materialisation sweeps. The order is deterministic (the cold set is a
+    /// `BTreeSet`), so sweeps driven off this list replay identically.
     pub fn cold_terms(&self) -> Vec<TermId> {
         self.cold.iter().copied().collect()
     }
@@ -367,6 +371,45 @@ impl InvertedIndex {
     /// Iterates over `(term, list)` pairs in increasing term-id order.
     pub fn lists(&self) -> impl Iterator<Item = (TermId, &InvertedList)> {
         self.lists.iter()
+    }
+
+    /// Audits the index's structural invariants, panicking with a
+    /// description on violation:
+    ///
+    /// * every inverted list is non-empty (an emptied list's arena slot is
+    ///   vacated on removal, never left behind) and internally well-formed
+    ///   ([`crate::InvertedList`]'s own `check_invariants`);
+    /// * no posting refers to a document outside the store, and no list holds
+    ///   more postings than there are valid documents;
+    /// * the **cold-term lifecycle**: a cold term never owns a list — cold
+    ///   means "the shared store is the single source of truth", so a
+    ///   coexisting private list would double-count on materialisation.
+    ///
+    /// Driven per-op by the testkit lockstep runner under the
+    /// `invariant-checks` feature (and in unit tests); not called on hot
+    /// paths.
+    pub fn check_invariants(&self) {
+        let documents = self.store.len();
+        for (term, list) in self.lists.iter() {
+            assert!(!list.is_empty(), "empty list for {term} was not vacated");
+            assert!(
+                list.len() <= documents,
+                "list for {term} holds {} postings over a {documents}-document window",
+                list.len()
+            );
+            list.check_invariants();
+            for posting in list.iter() {
+                assert!(
+                    self.store.get(posting.doc).is_some(),
+                    "list for {term} references expired document {}",
+                    posting.doc
+                );
+            }
+            assert!(
+                !self.cold.contains(&term),
+                "{term} is cold but owns a materialised list"
+            );
+        }
     }
 
     /// A point-in-time summary of the index shape.

@@ -31,7 +31,7 @@
 //! benchmarks.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs, unused_must_use)]
 
 pub mod arena;
 pub mod baseline;

@@ -207,6 +207,20 @@ impl FlatImpactList {
     pub fn weight_of(&self, doc: DocId) -> Option<Weight> {
         self.iter().find(|p| p.doc == doc).map(|p| p.weight)
     }
+
+    /// Checks the layout's single structural invariant — strict global rank
+    /// order (decreasing weight, ties by increasing document id, no
+    /// duplicates) — panicking with a description on violation. The flat
+    /// counterpart of `SegmentedImpactList::check_invariants`, so the
+    /// engine-level audits work under either list backing.
+    pub fn check_invariants(&self) {
+        for pair in self.entries.windows(2) {
+            assert!(
+                pair[0].rank(&pair[1]) == std::cmp::Ordering::Less,
+                "flat impact list is not strictly ordered"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

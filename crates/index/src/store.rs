@@ -16,6 +16,7 @@
 //! [`DocumentStore::push`] still accepts an owned [`Document`] and the
 //! accessors still hand out plain `&Document`.
 
+// cts-lint: allow(nondet-iteration, the id map is point-lookup only; all traversal follows the FIFO order)
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -25,7 +26,7 @@ use crate::document::{DocId, Document, Timestamp};
 #[derive(Debug, Clone, Default)]
 pub struct DocumentStore {
     fifo: VecDeque<DocId>,
-    by_id: HashMap<DocId, Arc<Document>>,
+    by_id: HashMap<DocId, Arc<Document>>, // cts-lint: allow(nondet-iteration, point lookups only; iteration follows the FIFO)
 }
 
 impl DocumentStore {
@@ -38,7 +39,7 @@ impl DocumentStore {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             fifo: VecDeque::with_capacity(n),
-            by_id: HashMap::with_capacity(n),
+            by_id: HashMap::with_capacity(n), // cts-lint: allow(nondet-iteration, point lookups only; iteration follows the FIFO)
         }
     }
 

@@ -113,6 +113,22 @@ impl ThresholdTree {
     pub fn min_threshold(&self) -> Option<Weight> {
         self.entries.first().map(|e| e.threshold)
     }
+
+    /// Audits the tree's structural invariants, panicking with a description
+    /// on violation: entries strictly ascending by `(θ, Q)` — which implies
+    /// no duplicate entry — so `affected_by`'s `partition_point` + prefix
+    /// scan is sound. Driven by the engine-level `check_invariants` audits
+    /// (`invariant-checks` feature) and tests; not called on hot paths.
+    pub fn check_invariants(&self) {
+        for pair in self.entries.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "threshold tree is not strictly ordered: {:?} precedes {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
 }
 
 #[cfg(test)]

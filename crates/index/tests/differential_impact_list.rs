@@ -118,7 +118,7 @@ fn differential_run(capacity: usize, seed: u64, steps: usize) {
                 assert_eq!(seg.remove(doc, w), flat.remove(doc, w));
             }
         }
-        seg.assert_invariants();
+        seg.check_invariants();
 
         // Probe at palette values (tie boundaries), their midpoints, and the
         // extremes; plus the half-open roll-up band between two palette
@@ -150,7 +150,7 @@ fn differential_run(capacity: usize, seed: u64, steps: usize) {
     while let Some((doc, w)) = live.pop() {
         assert!(seg.remove(doc, w));
         assert!(flat.remove(doc, w));
-        seg.assert_invariants();
+        seg.check_invariants();
     }
     assert!(seg.is_empty());
     assert_eq!(seg.num_segments(), 0);

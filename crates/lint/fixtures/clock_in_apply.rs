@@ -1,0 +1,11 @@
+// Fixture: linted as `crates/core/src/testkit.rs` (a replay-relevant
+// module), where wall-clock reads are forbidden. Must trip
+// `clock-in-apply` and nothing else.
+pub fn stamp(log: &mut Vec<u128>) {
+    let now = std::time::Instant::now();
+    log.push(now.elapsed().as_micros());
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,8 @@
+// Fixture: linted as `crates/fake/src/lib.rs` — a crate root missing both
+// `#![forbid(unsafe_code)]` and the `#![deny(...)]` lints. Must trip
+// `crate-hygiene` (three findings: forbid, missing_docs, unused_must_use)
+// and nothing else.
+
+//! A crate that forgot its hygiene headers.
+
+pub fn noop() {}

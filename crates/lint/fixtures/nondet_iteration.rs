@@ -1,0 +1,12 @@
+// Fixture: linted as `crates/core/src/result.rs` (a replay-relevant
+// module), where unordered iteration is forbidden. Must trip
+// `nondet-iteration` and nothing else.
+use std::collections::HashMap;
+
+pub fn tally(events: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for (key, value) in events {
+        *counts.entry(*key).or_insert(0) += value;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,19 @@
+// Fixture: linted as `crates/index/src/segmented.rs` (a hot
+// event-processing module), where unguarded panics are forbidden. Must trip
+// `panic-in-hot-path` and nothing else; the `#[cfg(test)]` block at the
+// bottom must NOT be flagged.
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+pub fn tail(values: &[u64]) -> u64 {
+    *values.last().expect("values are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = [1u64].first().unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: linted as `crates/core/src/ita.rs`. The pragma below names a
+// real rule but gives no reason, so it must be reported as
+// `invalid-pragma` AND fail to suppress the `panic-in-hot-path` finding on
+// the line it covers.
+pub fn head(values: &[u64]) -> u64 {
+    // cts-lint: allow(panic-in-hot-path)
+    *values.first().unwrap()
+}

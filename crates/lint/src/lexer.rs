@@ -1,0 +1,303 @@
+//! A minimal Rust lexer that splits source text into per-line *code* and
+//! *comment* channels.
+//!
+//! The rule engine never needs a full token tree — every rule matches on
+//! plain substrings — but it must not be fooled by tokens that appear inside
+//! comments or string literals. The lexer therefore walks the source once and
+//! produces, for each physical line, the text that is actually code (with
+//! string/char literal *contents* blanked out) and the text that sits inside
+//! comments. `cts-lint: allow(...)` pragmas are read from the comment
+//! channel; rule tokens are matched against the code channel.
+//!
+//! The state machine understands the handful of Rust constructs that matter
+//! for that split: `//` line comments, `/* ... */` block comments (including
+//! nesting), ordinary and byte string literals with escapes, raw (byte)
+//! string literals with arbitrary `#` guards, char/byte-char literals, and
+//! the `'a`-lifetime-versus-`'x'`-char ambiguity.
+
+/// One physical source line, split into its code and comment content.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// The line's code, with comment text removed and the contents of
+    /// string/char literals replaced by a single space (so that `"HashMap"`
+    /// the string never matches `HashMap` the token, while brace counting
+    /// and token adjacency still work).
+    pub code: String,
+    /// The concatenated text of every comment overlapping this line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Whether the code channel currently ends in an identifier character —
+/// used to tell `r"..."` (raw string) apart from e.g. `attr"..."` suffixes
+/// and `crate::r` paths, and `b'x'` apart from `0b'...` nonsense.
+fn ends_in_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars[at]` begins a raw-string guard (`r`, `r#`, `r##`, ...), returns
+/// the number of `#` guards. `at` must point at the `r`.
+fn raw_guard(chars: &[char], at: usize) -> Option<usize> {
+    debug_assert_eq!(chars.get(at), Some(&'r'));
+    let mut j = at + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(j - at - 1)
+}
+
+/// Splits `source` into per-line code/comment channels.
+pub fn split_channels(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment { depth: 1 };
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push(' ');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && !ends_in_ident(&line.code) && raw_guard(&chars, i).is_some() {
+                    let hashes = raw_guard(&chars, i).unwrap_or(0);
+                    line.code.push(' ');
+                    state = State::RawStr { hashes };
+                    i += hashes + 2; // past r, the guards and the opening quote
+                } else if c == 'b'
+                    && !ends_in_ident(&line.code)
+                    && chars.get(i + 1) == Some(&'r')
+                    && raw_guard(&chars, i + 1).is_some()
+                {
+                    let hashes = raw_guard(&chars, i + 1).unwrap_or(0);
+                    line.code.push(' ');
+                    state = State::RawStr { hashes };
+                    i += hashes + 3;
+                } else if c == 'b' && !ends_in_ident(&line.code) && chars.get(i + 1) == Some(&'"') {
+                    line.code.push(' ');
+                    state = State::Str;
+                    i += 2;
+                } else if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'')) {
+                    let tick = if c == 'b' { i + 1 } else { i };
+                    match chars.get(tick + 1) {
+                        // `'\n'`, `'\u{41}'`, ... — an escaped char literal;
+                        // consume through the closing quote.
+                        Some('\\') => {
+                            line.code.push(' ');
+                            // Skip the backslash and the escaped character
+                            // itself (which may be `'`), then scan for the
+                            // closing quote.
+                            i = tick + 3;
+                            while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                                i += 1;
+                            }
+                            if chars.get(i) == Some(&'\'') {
+                                i += 1;
+                            }
+                        }
+                        // `'x'` — a one-char literal.
+                        Some(_) if chars.get(tick + 2) == Some(&'\'') => {
+                            line.code.push(' ');
+                            i = tick + 3;
+                        }
+                        // `'a`, `'static`, loop labels — a lifetime; keep the
+                        // tick (and whatever follows) in the code channel.
+                        _ => {
+                            if c == 'b' {
+                                line.code.push('b');
+                            }
+                            line.code.push('\'');
+                            i = tick + 1;
+                        }
+                    }
+                } else {
+                    if c != '\r' {
+                        line.code.push(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c != '\r' {
+                    line.comment.push(c);
+                }
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    i += 2;
+                } else {
+                    if c != '\r' {
+                        line.comment.push(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(std::mem::take(&mut line));
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channels(src: &str) -> Vec<Line> {
+        split_channels(src)
+    }
+
+    #[test]
+    fn line_comment_goes_to_comment_channel() {
+        let lines = channels("let x = 1; // trailing note\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " trailing note");
+    }
+
+    #[test]
+    fn raw_string_containing_line_comment_marker_stays_code() {
+        let lines = channels("let s = r\"no // comment here\";\n");
+        assert_eq!(lines[0].code, "let s =  ;");
+        assert_eq!(lines[0].comment, "");
+    }
+
+    #[test]
+    fn guarded_raw_string_with_quotes_and_comment_markers() {
+        let lines = channels("let s = r#\"a \" // b /* c \"#; // real\n");
+        assert_eq!(lines[0].code, "let s =  ; ");
+        assert_eq!(lines[0].comment, " real");
+    }
+
+    #[test]
+    fn raw_byte_string_is_blanked() {
+        let lines = channels("let s = br##\"x \"# y\"##; let t = b\"z\";\n");
+        assert_eq!(lines[0].code, "let s =  ; let t =  ;");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let lines = channels("let wier = var\"\";\n");
+        // `var` ends in an identifier char, so `r\"` must not open a raw
+        // string; the plain string that follows is blanked normally.
+        assert_eq!(lines[0].code, "let wier = var ;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = channels("/* outer /* inner */ still comment */ run();\n");
+        assert_eq!(lines[0].code, " run();");
+        assert_eq!(lines[0].comment, " outer  inner  still comment ");
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans_lines() {
+        let lines = channels("before(); /* one\ntwo */ after();\n");
+        assert_eq!(lines[0].code, "before(); ");
+        assert_eq!(lines[0].comment, " one");
+        assert_eq!(lines[1].code, " after();");
+        assert_eq!(lines[1].comment, "two ");
+    }
+
+    #[test]
+    fn lifetime_versus_char_literal() {
+        let lines = channels("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals_and_labels() {
+        let lines = channels("let c = '\\n'; let q = '\\''; 'outer: loop { break 'outer; }\n");
+        assert!(lines[0].code.contains("'outer: loop"));
+        assert!(lines[0].code.contains("break 'outer;"));
+        assert!(!lines[0].code.contains("\\n"));
+    }
+
+    #[test]
+    fn byte_char_literal_is_blanked() {
+        let lines = channels("let c = b'/'; let d = b'\\\\'; foo();\n");
+        assert_eq!(lines[0].code, "let c =  ; let d =  ; foo();");
+    }
+
+    #[test]
+    fn string_with_escaped_quote_does_not_leak() {
+        let lines = channels("let s = \"a\\\"b // not a comment\"; let y = 2;\n");
+        assert_eq!(lines[0].code, "let s =  ; let y = 2;");
+        assert_eq!(lines[0].comment, "");
+    }
+
+    #[test]
+    fn multi_line_string_keeps_line_count() {
+        let lines = channels("let s = \"one\ntwo\nthree\"; done();\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].code, "let s =  ");
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[2].code, "; done();");
+    }
+
+    #[test]
+    fn last_line_without_trailing_newline_is_kept() {
+        let lines = channels("fn main() {}");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].code, "fn main() {}");
+    }
+}

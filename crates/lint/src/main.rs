@@ -1,0 +1,105 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs, unused_must_use)]
+
+//! The `cts-lint` CLI: walks every `.rs` file under `crates/` and reports
+//! findings as `path:line: rule: message`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p cts-lint -- [--deny-all] [--root <dir>]
+//! ```
+//!
+//! `--deny-all` exits non-zero when any finding (including malformed
+//! pragmas) is reported — this is the CI mode. `--root` points at a
+//! workspace other than the current directory.
+//!
+//! Skipped subtrees: `target/`, `crates/compat/` (vendored API stand-ins,
+//! not engine code) and the linter's own `fixtures/` (deliberately bad
+//! inputs for the self-test).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "compat" || name == "fixtures" {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("cts-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("cts-lint: unknown argument `{other}`");
+                eprintln!("usage: cts-lint [--deny-all] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    collect(&root.join("crates"), &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "cts-lint: no .rs files under {}/crates — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut total = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("cts-lint: cannot read {}: {err}", file.display());
+                total += 1;
+                continue;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let rel = rel.display().to_string().replace('\\', "/");
+        for finding in cts_lint::lint_source(&rel, &source) {
+            println!(
+                "{}:{}: {}: {}",
+                finding.path, finding.line, finding.rule, finding.message
+            );
+            total += 1;
+        }
+    }
+    eprintln!(
+        "cts-lint: checked {} files, {} finding(s)",
+        files.len(),
+        total
+    );
+    if deny_all && total > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
