@@ -176,6 +176,20 @@ pub struct CellReport {
     /// Total time spent recovering shard state, microseconds (sharded-ITA
     /// arm only).
     pub recovery_micros: Option<u64>,
+    /// Events shed by a bounded ingest queue in front of this arm (deadline
+    /// expiries plus queue-full displacements). The sweep arms run
+    /// unbounded, so this records 0 — the column exists so a cell run with a
+    /// bounded queue reports what was dropped instead of reading as full
+    /// coverage; the bounded-queue profile itself lives in
+    /// `BENCH_loadgen.json`.
+    pub shed: u64,
+    /// Events processed as members of coalesced `process_batch` bursts by a
+    /// bounded ingest queue (0 for the unbounded sweep arms; distinct from
+    /// `batch`, which is the *driver's* fixed batching protocol).
+    pub coalesced: u64,
+    /// Deepest the bounded ingest queue got during the run (0 when
+    /// unbounded).
+    pub queue_high_water: u64,
     /// Outcome of the cross-engine self-check (`"reference"` for the engine
     /// that produced the snapshot, `"ok (n queries)"` for the one checked
     /// against it).
@@ -374,6 +388,9 @@ fn base_report<E: Engine>(settings: &SweepSettings, outcome: &DriveOutcome<E>) -
         faults: None,
         recoveries: None,
         recovery_micros: None,
+        shed: stats.overload.shed(),
+        coalesced: stats.overload.coalesced,
+        queue_high_water: stats.overload.queue_high_water,
         self_check: String::new(),
     }
 }
@@ -786,6 +803,14 @@ mod tests {
         // The headline claim, visible even at toy scale: ITA touches fewer
         // (query, update) pairs per event than the all-queries baseline.
         assert!(ita.queries_touched_per_event < naive.queries_touched_per_event);
+        // The sweep arms run unbounded: the overload columns exist (so a
+        // bounded-queue cell can report its drops) and record zero here.
+        for cell in &cells {
+            assert_eq!(
+                (cell.shed, cell.coalesced, cell.queue_high_water),
+                (0, 0, 0)
+            );
+        }
     }
 
     #[test]

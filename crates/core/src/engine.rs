@@ -52,6 +52,58 @@ impl EventOutcome {
     }
 }
 
+/// A stream event offered to a bounded ingest queue: the document plus an
+/// optional **ingest deadline** in stream time.
+///
+/// The deadline is the admission contract of the overload-robust front-end
+/// ([`crate::StreamService`]): an event whose deadline lies strictly before
+/// the service's logical clock when shedding runs is dropped (oldest first)
+/// instead of processed late. Deadlines live in *stream time*
+/// ([`Timestamp`], the same clock as [`Document::arrival`]), never wall
+/// clock, so admission decisions — and therefore the set of accepted events
+/// — are a pure function of the offered sequence and replay exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestEvent {
+    /// The arriving document.
+    pub doc: Document,
+    /// Latest stream time at which processing this event is still useful;
+    /// `None` means the event never expires in the queue.
+    pub deadline: Option<Timestamp>,
+}
+
+impl IngestEvent {
+    /// An event without an ingest deadline (it may still be displaced when
+    /// the queue is full, but never expires).
+    pub fn new(doc: Document) -> Self {
+        Self {
+            doc,
+            deadline: None,
+        }
+    }
+
+    /// An event that expires at `deadline` (stream time).
+    pub fn with_deadline(doc: Document, deadline: Timestamp) -> Self {
+        Self {
+            doc,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// An event that expires `slack` after its own arrival timestamp — the
+    /// common "process me within Δ of arrival" freshness contract.
+    pub fn deadline_in(doc: Document, slack: std::time::Duration) -> Self {
+        let deadline = doc.arrival.advance(slack);
+        Self::with_deadline(doc, deadline)
+    }
+
+    /// Whether this event is past its deadline at stream time `now`
+    /// (deadline strictly before `now`; an event is still processable at
+    /// exactly its deadline).
+    pub fn is_expired(&self, now: Timestamp) -> bool {
+        self.deadline.is_some_and(|deadline| deadline < now)
+    }
+}
+
 /// A continuous top-k monitoring engine.
 pub trait Engine {
     /// Registers a continuous query, returning its id. The query's initial
@@ -222,6 +274,25 @@ mod tests {
         assert_eq!(o.queries_touched_by_expiration, 0);
         assert_eq!(o.results_changed, 0);
         assert_eq!(o.arrived, DocId(0));
+    }
+
+    #[test]
+    fn ingest_event_deadlines_are_stream_time() {
+        use cts_text::WeightedVector;
+        let doc = Document::new(
+            DocId(1),
+            Timestamp::from_millis(100),
+            WeightedVector::from_weights([]),
+        );
+        let no_deadline = IngestEvent::new(doc.clone());
+        assert!(!no_deadline.is_expired(Timestamp::from_millis(u64::MAX / 1_000_000)));
+        let ev = IngestEvent::deadline_in(doc.clone(), std::time::Duration::from_millis(50));
+        assert_eq!(ev.deadline, Some(Timestamp::from_millis(150)));
+        // Processable at exactly the deadline, expired strictly past it.
+        assert!(!ev.is_expired(Timestamp::from_millis(150)));
+        assert!(ev.is_expired(Timestamp::from_millis(151)));
+        let pinned = IngestEvent::with_deadline(doc, Timestamp::from_millis(90));
+        assert!(pinned.is_expired(Timestamp::from_millis(100)));
     }
 
     #[test]

@@ -170,6 +170,32 @@ pub struct FaultStats {
     pub spawn_fallbacks: u64,
 }
 
+impl FaultStats {
+    /// Folds another engine's fault counters into this one — the combinator
+    /// for aggregating fault stats across engines (e.g. a fleet report over
+    /// several sharded instances). Event-shaped counters add exactly;
+    /// `degraded_shards` is a *current-state* gauge, not a counter, and also
+    /// adds: each source reports its own currently-degraded shard count and
+    /// the shard sets are disjoint.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.faults += other.faults;
+        self.recoveries += other.recoveries;
+        self.recovery_micros += other.recovery_micros;
+        self.events_during_degraded += other.events_during_degraded;
+        self.degraded_shards += other.degraded_shards;
+        self.spawn_retries += other.spawn_retries;
+        self.spawn_fallbacks += other.spawn_fallbacks;
+    }
+
+    /// Whether any shard is currently degraded — the signal the bounded
+    /// ingest queue ([`crate::StreamService`]) converts into backpressure
+    /// (`Retry` admissions) instead of letting a recovery block behind a
+    /// growing queue.
+    pub fn any_degraded(&self) -> bool {
+        self.degraded_shards > 0
+    }
+}
+
 /// The payload-text marker of a *poison document*: the first time a shard
 /// worker processes a document carrying this text it panics mid-mutation
 /// (exercising the recovery path), while engines without fault injection
@@ -221,6 +247,42 @@ mod tests {
         // The marker does not touch anything scoring reads.
         assert_eq!(doc.id, DocId(1));
         assert!(doc.composition.as_slice().is_empty());
+    }
+
+    #[test]
+    fn fault_stats_absorb_is_an_exact_merge() {
+        let mut a = FaultStats {
+            faults: 3,
+            recoveries: 2,
+            recovery_micros: 40,
+            events_during_degraded: 7,
+            degraded_shards: 1,
+            spawn_retries: 1,
+            spawn_fallbacks: 0,
+        };
+        let b = FaultStats {
+            faults: 1,
+            recoveries: 1,
+            recovery_micros: 5,
+            events_during_degraded: 0,
+            degraded_shards: 2,
+            spawn_retries: 0,
+            spawn_fallbacks: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.faults, 4);
+        assert_eq!(a.recoveries, 3);
+        assert_eq!(a.recovery_micros, 45);
+        assert_eq!(a.events_during_degraded, 7);
+        assert_eq!(a.degraded_shards, 3);
+        assert_eq!(a.spawn_retries, 1);
+        assert_eq!(a.spawn_fallbacks, 1);
+        assert!(a.any_degraded());
+        assert!(!FaultStats::default().any_degraded());
+        // Absorbing the zero stats is the identity.
+        let before = a;
+        a.absorb(&FaultStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

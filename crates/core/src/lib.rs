@@ -57,22 +57,24 @@ pub mod oracle;
 pub mod query;
 pub mod result;
 pub mod server;
+pub mod service;
 pub mod sharded;
 pub mod slab;
 pub mod testkit;
 pub mod validate;
 
-pub use engine::{Engine, EventOutcome, RankedDocument};
+pub use engine::{Engine, EventOutcome, IngestEvent, RankedDocument};
 pub use fault::{
     is_poison_document, poison_document, EngineError, FaultConfig, FaultPolicy, FaultStats,
     ShardFault, POISON_DOC_TEXT,
 };
 pub use ita::{ItaConfig, ItaEngine, ItaQueryStats, QueryMigration};
-pub use monitor::{Monitor, ProcessingStats};
+pub use monitor::{Monitor, OverloadStats, ProcessingStats};
 pub use naive::{NaiveConfig, NaiveEngine};
 pub use oracle::BruteForceOracle;
 pub use query::ContinuousQuery;
 pub use result::ResultSet;
 pub use server::MonitoringServer;
+pub use service::{Admission, DrainReport, ServiceConfig, ShedReason, StreamService};
 pub use sharded::{RebalanceConfig, ShardedItaEngine};
 pub use slab::QuerySlab;

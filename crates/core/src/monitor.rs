@@ -14,6 +14,134 @@ use crate::engine::{Engine, EventOutcome};
 use crate::query::ContinuousQuery;
 use crate::result::RankedDocument;
 
+/// Admission-control and load-shedding counters of a bounded-queue
+/// streaming front-end ([`crate::StreamService`]).
+///
+/// The counters obey an exact accounting identity, checked by the service
+/// after every admission and drain:
+///
+/// ```text
+/// offered == accepted + coalesced + shed() + queue depth
+/// ```
+///
+/// which collapses to the quiescent form `offered == accepted + coalesced +
+/// shed()` once the queue has drained. `Retry` refusals are *not* part of
+/// `offered` — a retried caller still owns its event — and are tracked
+/// separately as hints.
+///
+/// Embedded in [`ProcessingStats`] so overload counters ride through every
+/// aggregation path ([`ProcessingStats::absorb`],
+/// [`ProcessingStats::delta_since`]) instead of silently zeroing when stats
+/// are folded across shards or batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Events the ingest queue took ownership of (enqueued, or shed on the
+    /// spot); excludes `Retry` refusals, which the caller retains.
+    pub offered: u64,
+    /// Owned events processed individually (drained below the coalescing
+    /// watermark). Disjoint from `coalesced`.
+    pub accepted: u64,
+    /// Owned events processed as members of a coalesced
+    /// [`Engine::process_batch`] burst. Disjoint from `accepted`.
+    pub coalesced: u64,
+    /// Owned events dropped because their ingest deadline passed
+    /// (oldest-first).
+    pub shed_deadline: u64,
+    /// Owned events displaced from a full queue to admit fresher arrivals
+    /// (oldest-first).
+    pub shed_queue_full: u64,
+    /// `Retry { after }` hints issued under backpressure (degraded shard
+    /// with a deep queue). Not counted in `offered`.
+    pub retry_hints: u64,
+    /// Deepest the ingest queue has ever been (high-water mark; cumulative
+    /// like the timing maxima).
+    pub queue_high_water: u64,
+    /// Registrations the admission path took ownership of (immediate or
+    /// queued); excludes `Retry` refusals.
+    pub register_offered: u64,
+    /// Registrations performed immediately (no pressure).
+    pub register_immediate: u64,
+    /// Registrations queued and later flushed through one
+    /// [`Engine::register_batch`] call (coalesced under pressure).
+    pub register_coalesced: u64,
+    /// `Retry { after }` hints issued because the pending-register queue was
+    /// at capacity. Not counted in `register_offered`.
+    pub register_retry_hints: u64,
+    /// Deepest the pending-register queue has ever been.
+    pub register_high_water: u64,
+}
+
+impl OverloadStats {
+    /// Total events shed, across every reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_deadline + self.shed_queue_full
+    }
+
+    /// Asserts the exact accounting identity at the given queue depth:
+    /// `offered == accepted + coalesced + shed() + depth`. Panics with the
+    /// full ledger on violation — a lost or double-counted event is a bug,
+    /// never a rounding artifact, because every counter is an exact integer.
+    pub fn check_accounting(&self, queue_depth: u64) {
+        let settled = self.accepted + self.coalesced + self.shed();
+        assert!(
+            self.offered == settled + queue_depth,
+            "overload accounting violated: offered {} != accepted {} + coalesced {} \
+             + shed {} + depth {}",
+            self.offered,
+            self.accepted,
+            self.coalesced,
+            self.shed(),
+            queue_depth
+        );
+    }
+
+    /// Folds another accumulator into this one: counters add exactly,
+    /// high-water marks take the maximum — the same discipline as
+    /// [`ProcessingStats::absorb`].
+    pub fn absorb(&mut self, other: &OverloadStats) {
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.coalesced += other.coalesced;
+        self.shed_deadline += other.shed_deadline;
+        self.shed_queue_full += other.shed_queue_full;
+        self.retry_hints += other.retry_hints;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.register_offered += other.register_offered;
+        self.register_immediate += other.register_immediate;
+        self.register_coalesced += other.register_coalesced;
+        self.register_retry_hints += other.register_retry_hints;
+        self.register_high_water = self.register_high_water.max(other.register_high_water);
+    }
+
+    /// The change in counters since `earlier` (saturating). High-water marks
+    /// stay cumulative, the same wart [`ProcessingStats::delta_since`]
+    /// documents for its timing maxima.
+    pub fn delta_since(&self, earlier: &OverloadStats) -> OverloadStats {
+        OverloadStats {
+            offered: self.offered.saturating_sub(earlier.offered),
+            accepted: self.accepted.saturating_sub(earlier.accepted),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            shed_deadline: self.shed_deadline.saturating_sub(earlier.shed_deadline),
+            shed_queue_full: self.shed_queue_full.saturating_sub(earlier.shed_queue_full),
+            retry_hints: self.retry_hints.saturating_sub(earlier.retry_hints),
+            queue_high_water: self.queue_high_water,
+            register_offered: self
+                .register_offered
+                .saturating_sub(earlier.register_offered),
+            register_immediate: self
+                .register_immediate
+                .saturating_sub(earlier.register_immediate),
+            register_coalesced: self
+                .register_coalesced
+                .saturating_sub(earlier.register_coalesced),
+            register_retry_hints: self
+                .register_retry_hints
+                .saturating_sub(earlier.register_retry_hints),
+            register_high_water: self.register_high_water,
+        }
+    }
+}
+
 /// Accumulated cost of the stream events processed so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessingStats {
@@ -45,6 +173,11 @@ pub struct ProcessingStats {
     pub largest_batch: u64,
     /// The most expensive single batch (whole-batch wall clock).
     pub max_batch_time: Duration,
+    /// Admission-control counters when the events flowed through a bounded
+    /// ingest queue ([`crate::StreamService`]); all-zero for unbounded
+    /// monitors. Carried through [`ProcessingStats::absorb`] and
+    /// [`ProcessingStats::delta_since`] like every other counter.
+    pub overload: OverloadStats,
 }
 
 impl ProcessingStats {
@@ -146,6 +279,7 @@ impl ProcessingStats {
         self.batches += other.batches;
         self.largest_batch = self.largest_batch.max(other.largest_batch);
         self.max_batch_time = self.max_batch_time.max(other.max_batch_time);
+        self.overload.absorb(&other.overload);
     }
 
     /// The change in counters since `earlier` (saturating; `earlier` should
@@ -172,6 +306,7 @@ impl ProcessingStats {
             batches: self.batches.saturating_sub(earlier.batches),
             largest_batch: self.largest_batch,
             max_batch_time: self.max_batch_time,
+            overload: self.overload.delta_since(&earlier.overload),
         }
     }
 }
@@ -646,6 +781,82 @@ mod tests {
         let stats = batched.run_batched(docs(8, 10), 1);
         assert_eq!(stats.batches, 0);
         assert!(stats.max_event_time > Duration::ZERO);
+    }
+
+    fn sample_overload() -> OverloadStats {
+        OverloadStats {
+            offered: 10,
+            accepted: 4,
+            coalesced: 3,
+            shed_deadline: 2,
+            shed_queue_full: 1,
+            retry_hints: 5,
+            queue_high_water: 7,
+            register_offered: 6,
+            register_immediate: 2,
+            register_coalesced: 4,
+            register_retry_hints: 1,
+            register_high_water: 3,
+        }
+    }
+
+    #[test]
+    fn overload_counters_survive_every_folding_path() {
+        let overload = sample_overload();
+        overload.check_accounting(0); // 10 == 4 + 3 + (2 + 1) + 0
+        assert_eq!(overload.shed(), 3);
+
+        // Path 1: absorb — counters add exactly, high waters take the max.
+        let mut a = ProcessingStats {
+            overload,
+            ..ProcessingStats::default()
+        };
+        let mut other = overload;
+        other.queue_high_water = 2;
+        other.register_high_water = 9;
+        let b = ProcessingStats {
+            overload: other,
+            ..ProcessingStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.overload.offered, 20);
+        assert_eq!(a.overload.accepted, 8);
+        assert_eq!(a.overload.coalesced, 6);
+        assert_eq!(a.overload.shed(), 6);
+        assert_eq!(a.overload.retry_hints, 10);
+        assert_eq!(a.overload.queue_high_water, 7);
+        assert_eq!(a.overload.register_offered, 12);
+        assert_eq!(a.overload.register_high_water, 9);
+        a.overload.check_accounting(0);
+
+        // Path 2: event recording (record / record_batch) must leave the
+        // admission-side counters untouched — recording a batch into an
+        // accumulator that already carries overload counters may not zero
+        // them.
+        let snapshot = a.overload;
+        a.record(&EventOutcome::default(), Duration::from_nanos(3));
+        let outcomes = [EventOutcome::default(), EventOutcome::default()];
+        a.record_batch(&outcomes, Duration::from_nanos(9), Duration::ZERO);
+        assert_eq!(a.overload, snapshot);
+
+        // Path 3: delta_since — counts subtract (saturating), high waters
+        // stay cumulative like the timing maxima.
+        let delta = a.delta_since(&b);
+        assert_eq!(delta.overload.offered, 10);
+        assert_eq!(delta.overload.accepted, 4);
+        assert_eq!(delta.overload.coalesced, 3);
+        assert_eq!(delta.overload.shed_deadline, 2);
+        assert_eq!(delta.overload.register_coalesced, 4);
+        assert_eq!(delta.overload.queue_high_water, 7);
+        assert_eq!(delta.overload.register_high_water, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overload accounting violated")]
+    fn accounting_check_catches_a_lost_event() {
+        let mut overload = sample_overload();
+        overload.accepted -= 1; // one event vanished from the ledger
+        overload.check_accounting(0);
     }
 
     #[test]

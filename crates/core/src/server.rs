@@ -154,6 +154,15 @@ impl<E: Engine> MonitoringServer<E> {
     pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         self.monitor.fault_stats()
     }
+
+    /// Promotes this server into an overload-robust
+    /// [`StreamService`](crate::StreamService): a bounded ingest queue with
+    /// explicit admission, deadline shedding, burst coalescing and
+    /// degraded-shard backpressure in front of the same engine. Registered
+    /// queries and accumulated statistics carry over.
+    pub fn into_service(self, config: crate::ServiceConfig) -> crate::StreamService<E> {
+        crate::StreamService::from_monitor(self.monitor, config)
+    }
 }
 
 #[cfg(test)]

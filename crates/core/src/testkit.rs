@@ -37,8 +37,10 @@ use std::fmt;
 use cts_index::{DocId, Document, QueryId, Timestamp};
 use cts_text::{TermId, WeightedVector};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, IngestEvent};
+use crate::monitor::OverloadStats;
 use crate::query::ContinuousQuery;
+use crate::service::{Admission, ServiceConfig, StreamService};
 use crate::validate::{results_match, DEFAULT_TOLERANCE};
 
 /// A tiny deterministic pseudo-random generator (SplitMix64) for building
@@ -797,6 +799,292 @@ pub fn assert_script_runs(
     }
 }
 
+/// Shape of one overload session for [`run_overload_session`]: seeded bursty
+/// arrivals against a bounded [`StreamService`], with slow-drain phases,
+/// registration storms and optional fault injection.
+///
+/// This is the overload differential axis: the service may shed or displace
+/// whatever its bounds dictate, but the events it *reports as processed*
+/// must produce byte-identical results to feeding exactly that sequence to
+/// an unbounded reference engine — shedding changes *which* events run,
+/// never *what they compute*.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Document/query shape (vocabulary, palette, gaps) reused from the
+    /// script generator so overload sessions hit the same tie-heavy corpus.
+    pub script: ScriptConfig,
+    /// Bounds of the service under test.
+    pub service: ServiceConfig,
+    /// Offer/pump rounds in the session.
+    pub bursts: usize,
+    /// Largest burst of offers per round (size draws from `[1, max]`).
+    pub max_burst: usize,
+    /// Probability that a round drains with [`StreamService::pump_budget`]
+    /// (a slow consumer) instead of a full pump.
+    pub slow_drain_probability: f64,
+    /// Events a slow-drain round is allowed to process.
+    pub drain_budget: usize,
+    /// Per-round probability of a registration storm.
+    pub register_storm_probability: f64,
+    /// Largest registration storm (size draws from `[1, max]`).
+    pub max_storm: usize,
+    /// Per-round probability of deregistering a live query.
+    pub deregister_probability: f64,
+    /// Ingest deadline slack applied to every offered event, in stream-time
+    /// milliseconds; `0` offers events without deadlines.
+    pub deadline_slack_millis: u64,
+    /// Per-round probability of arming an injected fault on the candidate
+    /// (worker panic + in-place warm recovery; lockstep must hold through
+    /// it).
+    pub inject_fault_probability: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            script: ScriptConfig::default(),
+            service: ServiceConfig::bounded(64),
+            bursts: 60,
+            max_burst: 24,
+            slow_drain_probability: 0.4,
+            drain_budget: 6,
+            register_storm_probability: 0.2,
+            max_storm: 6,
+            deregister_probability: 0.1,
+            deadline_slack_millis: 12,
+            inject_fault_probability: 0.0,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// The acceptance shape: every round is a slow drain with a budget a
+    /// tenth of the maximum burst — arrival rate ≥ 10× drain rate — so the
+    /// bounded queue must shed hard while staying live and exact.
+    pub fn ten_x() -> Self {
+        Self {
+            service: ServiceConfig::bounded(256),
+            bursts: 120,
+            max_burst: 100,
+            slow_drain_probability: 1.0,
+            drain_budget: 10,
+            register_storm_probability: 0.05,
+            max_storm: 8,
+            deregister_probability: 0.02,
+            deadline_slack_millis: 40,
+            inject_fault_probability: 0.05,
+            ..Self::default()
+        }
+    }
+}
+
+/// Drives `candidate` (behind a bounded [`StreamService`]) and an unbounded
+/// `reference` engine through one seeded overload session, asserting the
+/// overload correctness contract at every round:
+///
+/// * every admission is an explicit [`Admission`] (no silently dropped
+///   acks), and shed accounting stays exact
+///   (`offered == accepted + coalesced + shed + depth`);
+/// * immediate registrations/deregistrations mirror to the reference at
+///   offer time, coalesced registrations at their pump's
+///   [`Engine::register_batch`] flush, with identical id assignment;
+/// * every event the service reports processed is replayed into the
+///   reference, with identical [`crate::EventOutcome`]s and periodically
+///   identical top-k results on all live queries;
+/// * at final quiescence the identity collapses to
+///   `offered == accepted + coalesced + shed` and all live results match
+///   exactly.
+///
+/// Returns the session's [`OverloadStats`] so callers can assert shape
+/// (e.g. that a 10× profile actually shed).
+pub fn run_overload_session<C: Engine, R: Engine>(
+    candidate: C,
+    reference: &mut R,
+    config: &OverloadConfig,
+    seed: u64,
+) -> OverloadStats {
+    use std::collections::BTreeMap;
+
+    let mut rng = ScriptRng::new(seed);
+    let mut service = StreamService::new(candidate, config.service.clone());
+    // Documents the queue owns, by id: processed ids replay into the
+    // reference, shed ids are dropped. BTreeMap, not HashMap — the testkit
+    // is replay-deterministic code.
+    let mut queued: BTreeMap<u64, Document> = BTreeMap::new();
+    let mut live: Vec<QueryId> = Vec::new();
+    // Coalesced registrations awaiting the service's next register_batch
+    // flush; mirrored into the reference at exactly that point.
+    let mut pending_ref: Vec<ContinuousQuery> = Vec::new();
+    let mut clock = Timestamp::ZERO;
+    let mut next_doc = 0u64;
+
+    let mirror_report = |report: &crate::service::DrainReport,
+                         reference: &mut R,
+                         queued: &mut BTreeMap<u64, Document>,
+                         live: &mut Vec<QueryId>,
+                         pending_ref: &mut Vec<ContinuousQuery>,
+                         round: usize| {
+        if !report.registered.is_empty() {
+            let flushed: Vec<ContinuousQuery> = std::mem::take(pending_ref);
+            assert_eq!(
+                flushed.len(),
+                report.registered.len(),
+                "seed {seed:#x} round {round}: coalesced-register flush size diverged"
+            );
+            let ids = reference.register_batch(flushed);
+            assert_eq!(
+                ids, report.registered,
+                "seed {seed:#x} round {round}: coalesced registration ids diverged"
+            );
+            live.extend(ids);
+        }
+        for (doc_id, _reason) in &report.shed {
+            queued.remove(&doc_id.0);
+        }
+        for (index, doc_id) in report.processed.iter().enumerate() {
+            let doc = queued.remove(&doc_id.0).unwrap_or_else(|| {
+                panic!(
+                    "seed {seed:#x} round {round}: service processed {doc_id:?} \
+                     it never accepted"
+                )
+            });
+            let expected = reference.process_document(doc);
+            assert_eq!(
+                expected, report.outcomes[index],
+                "seed {seed:#x} round {round}: outcome diverged on {doc_id:?}"
+            );
+        }
+    };
+
+    for round in 0..config.bursts {
+        if rng.chance(config.register_storm_probability) {
+            let storm = rng.range(1, config.max_storm.max(1) + 1);
+            for _ in 0..storm {
+                let query = random_query(&mut rng, &config.script);
+                let (admission, id) = service.offer_register(query.clone());
+                match admission {
+                    Admission::Accepted => {
+                        let expected = reference.register(query);
+                        let id = id.unwrap_or_else(|| {
+                            panic!(
+                                "seed {seed:#x} round {round}: immediate \
+                                 registration returned no id"
+                            )
+                        });
+                        assert_eq!(
+                            id, expected,
+                            "seed {seed:#x} round {round}: immediate registration \
+                             ids diverged"
+                        );
+                        live.push(id);
+                    }
+                    Admission::Coalesced => pending_ref.push(query),
+                    Admission::Retry { .. } => {}
+                    Admission::Shed(reason) => panic!(
+                        "seed {seed:#x} round {round}: registration shed ({reason:?}) \
+                         — registrations must coalesce or retry, never shed"
+                    ),
+                }
+            }
+        }
+        if rng.chance(config.deregister_probability) && !live.is_empty() {
+            let victim = live.swap_remove(rng.below(live.len()));
+            let removed = service.deregister(victim);
+            assert_eq!(
+                removed,
+                reference.deregister(victim),
+                "seed {seed:#x} round {round}: deregister({victim:?}) diverged"
+            );
+        }
+        if rng.chance(config.inject_fault_probability) {
+            service.engine_mut().inject_fault(rng.below(8));
+        }
+        let burst = rng.range(1, config.max_burst.max(1) + 1);
+        for _ in 0..burst {
+            clock = clock.advance(std::time::Duration::from_millis(
+                rng.below(config.script.max_gap_millis + 1) as u64,
+            ));
+            let doc = random_document(&mut rng, &config.script, next_doc, clock);
+            next_doc += 1;
+            let event = if config.deadline_slack_millis > 0 {
+                IngestEvent::deadline_in(
+                    doc.clone(),
+                    std::time::Duration::from_millis(config.deadline_slack_millis),
+                )
+            } else {
+                IngestEvent::new(doc.clone())
+            };
+            match service.offer(event) {
+                Admission::Accepted => {
+                    queued.insert(doc.id.0, doc);
+                }
+                Admission::Shed(_) | Admission::Retry { .. } => {}
+                Admission::Coalesced => panic!(
+                    "seed {seed:#x} round {round}: event admission returned \
+                     Coalesced — events coalesce at drain, not at offer"
+                ),
+            }
+        }
+        let report = if rng.chance(config.slow_drain_probability) {
+            service.pump_budget(clock, config.drain_budget.max(1))
+        } else {
+            service.pump(clock)
+        };
+        mirror_report(
+            &report,
+            reference,
+            &mut queued,
+            &mut live,
+            &mut pending_ref,
+            round,
+        );
+        service.check_accounting();
+        if round % 8 == 0 {
+            for &query in &live {
+                assert_eq!(
+                    service.results(query),
+                    reference.current_results(query),
+                    "seed {seed:#x} round {round}: results diverged on {query:?}"
+                );
+            }
+        }
+    }
+    // Quiesce: drain everything still queued and settle the ledger.
+    let report = service.pump(clock);
+    mirror_report(
+        &report,
+        reference,
+        &mut queued,
+        &mut live,
+        &mut pending_ref,
+        config.bursts,
+    );
+    assert_eq!(
+        service.depth(),
+        0,
+        "seed {seed:#x}: final pump left a backlog"
+    );
+    assert!(
+        queued.is_empty(),
+        "seed {seed:#x}: {} accepted events were neither processed nor shed",
+        queued.len()
+    );
+    let overload = service.overload_stats();
+    assert_eq!(
+        overload.offered,
+        overload.accepted + overload.coalesced + overload.shed(),
+        "seed {seed:#x}: quiescent shed accounting violated"
+    );
+    for &query in &live {
+        assert_eq!(
+            service.results(query),
+            reference.current_results(query),
+            "seed {seed:#x}: final results diverged on {query:?}"
+        );
+    }
+    overload
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -971,6 +1259,24 @@ mod tests {
             ]
         };
         assert_script_equivalence(&make, &ScriptConfig::default(), 0x7E57_0003);
+    }
+
+    #[test]
+    fn overload_session_holds_lockstep_while_shedding() {
+        let window = SlidingWindow::count_based(20);
+        let config = OverloadConfig {
+            bursts: 30,
+            ..OverloadConfig::default()
+        };
+        let candidate = ShardedItaEngine::new(window, ItaConfig::default(), 2);
+        let mut reference = ItaEngine::new(window, ItaConfig::default());
+        let overload = run_overload_session(candidate, &mut reference, &config, 0x7E57_0B01);
+        assert!(overload.offered > 0, "session offered nothing");
+        assert!(
+            overload.shed() > 0,
+            "a bursty session against a 64-slot queue must shed: {overload:?}"
+        );
+        assert!(overload.register_offered > 0, "no registration storms ran");
     }
 
     #[test]

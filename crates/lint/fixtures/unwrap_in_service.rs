@@ -1,0 +1,24 @@
+// Fixture: linted as `crates/core/src/fault.rs` (service/admission surface,
+// not a hot module), where `unwrap`/`expect` are forbidden in non-test code.
+// Must trip `unwrap-in-service` and nothing else; the explicit panic is
+// assertion-style and belongs to `panic-in-hot-path`, which is out of scope
+// here, and the `#[cfg(test)]` block at the bottom must NOT be flagged.
+pub fn last_degraded(shards: &[usize]) -> usize {
+    *shards.last().unwrap()
+}
+
+pub fn budget(limit: Option<u64>) -> u64 {
+    limit.expect("a fault budget is always configured")
+}
+
+pub fn assertion_style_panics_are_not_this_rule() {
+    panic!("belongs to panic-in-hot-path, which does not cover this module");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = [1usize].last().unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! The rule engine: five module-path-aware rules plus the pragma parser.
+//! The rule engine: six module-path-aware rules plus the pragma parser.
 //!
 //! Rules are deliberately narrow: each one targets the module set where its
 //! property is load-bearing (see `DESIGN.md` §11), so a finding is a real
@@ -45,17 +45,23 @@ pub const SPAWN_OUTSIDE_SUPERVISOR: &str = "spawn-outside-supervisor";
 /// Crate roots must carry `#![forbid(unsafe_code)]` and
 /// `#![deny(missing_docs, unused_must_use)]`.
 pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// `unwrap`/`expect` in the service/admission and fault-policy modules:
+/// these paths sit between an abusive stream source and the engine, and must
+/// surface typed errors or explicit `Admission` refusals — a panic there
+/// converts overload into an outage.
+pub const UNWRAP_IN_SERVICE: &str = "unwrap-in-service";
 /// A malformed `cts-lint:` pragma: missing reason, unknown rule, or
 /// unparseable syntax. Not suppressible.
 pub const INVALID_PRAGMA: &str = "invalid-pragma";
 
 /// Every enforced rule slug, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     NONDET_ITERATION,
     CLOCK_IN_APPLY,
     PANIC_IN_HOT_PATH,
     SPAWN_OUTSIDE_SUPERVISOR,
     CRATE_HYGIENE,
+    UNWRAP_IN_SERVICE,
 ];
 
 /// Modules on the op-log replay path: state they build must be a pure
@@ -63,6 +69,7 @@ pub const RULES: [&str; 5] = [
 /// are forbidden (`nondet-iteration`, `clock-in-apply`).
 const REPLAY_MODULES: &[&str] = &[
     "crates/core/src/ita.rs",
+    "crates/core/src/service.rs",
     "crates/core/src/sharded.rs",
     "crates/core/src/testkit.rs",
     "crates/core/src/engine.rs",
@@ -87,6 +94,15 @@ const HOT_MODULES: &[&str] = &[
 
 /// The only module allowed to spawn threads: the shard supervisor.
 const SUPERVISOR_MODULE: &str = "crates/core/src/sharded.rs";
+
+/// Modules on the service/admission and fault-policy surface, where queue
+/// paths must refuse (`Admission`) or return typed `EngineError`s instead of
+/// panicking (`unwrap-in-service`).
+const SERVICE_MODULES: &[&str] = &[
+    "crates/core/src/service.rs",
+    "crates/core/src/sharded.rs",
+    "crates/core/src/fault.rs",
+];
 
 fn in_module_set(path: &str, set: &[&str]) -> bool {
     set.iter().any(|m| path == *m || path.ends_with(m))
@@ -286,6 +302,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let replay = in_module_set(&path, REPLAY_MODULES) && !is_test_path(&path);
     let hot = in_module_set(&path, HOT_MODULES) && !is_test_path(&path);
     let may_spawn = path.ends_with(SUPERVISOR_MODULE) || is_test_path(&path);
+    let service = in_module_set(&path, SERVICE_MODULES) && !is_test_path(&path);
 
     let mut report = |line: usize, rule: &'static str, message: String| {
         findings.push(Finding {
@@ -346,6 +363,26 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                     format!(
                         "{token} in a hot event-processing module: a panic here kills a \
                          shard worker mid-event; return a typed error or justify with a pragma"
+                    ),
+                );
+            }
+        }
+        if service {
+            let unwrap_token = if code.contains(".unwrap()") {
+                Some(".unwrap()")
+            } else if code.contains(".expect(") {
+                Some(".expect(..)")
+            } else {
+                None
+            };
+            if let Some(token) = unwrap_token {
+                report(
+                    lineno,
+                    UNWRAP_IN_SERVICE,
+                    format!(
+                        "{token} on the service/admission surface: overload and fault \
+                         handling must refuse (Admission) or return a typed error; a \
+                         panic here turns backpressure into an outage"
                     ),
                 );
             }
@@ -453,6 +490,63 @@ mod tests {
                    pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n";
         let f = lint_source(HOT, src);
         assert_eq!(rules_of(&f), vec![INVALID_PRAGMA, PANIC_IN_HOT_PATH]);
+    }
+
+    #[test]
+    fn unwrap_on_the_service_surface_is_flagged() {
+        for path in ["crates/core/src/service.rs", "crates/core/src/fault.rs"] {
+            let f = lint_source(path, "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n");
+            assert_eq!(rules_of(&f), vec![UNWRAP_IN_SERVICE], "for {path}");
+        }
+        let f = lint_source(
+            "crates/core/src/fault.rs",
+            "pub fn f(v: Option<u8>) -> u8 { v.expect(\"present\") }\n",
+        );
+        assert_eq!(rules_of(&f), vec![UNWRAP_IN_SERVICE]);
+    }
+
+    #[test]
+    fn service_rule_leaves_panic_macros_to_the_hot_path_rule() {
+        // fault.rs is service-surface but not a hot module: explicit panics
+        // there are assertion-style and stay out of unwrap-in-service scope.
+        let f = lint_source(
+            "crates/core/src/fault.rs",
+            "pub fn f() { panic!(\"boom\"); }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sharded_unwrap_trips_both_hot_and_service_rules() {
+        let f = lint_source(
+            "crates/core/src/sharded.rs",
+            "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        );
+        assert_eq!(rules_of(&f), vec![PANIC_IN_HOT_PATH, UNWRAP_IN_SERVICE]);
+    }
+
+    #[test]
+    fn a_pragma_naming_only_one_rule_leaves_the_other_finding() {
+        let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap() } \
+                   // cts-lint: allow(panic-in-hot-path, checked by caller)\n";
+        let f = lint_source("crates/core/src/sharded.rs", src);
+        assert_eq!(rules_of(&f), vec![UNWRAP_IN_SERVICE]);
+    }
+
+    #[test]
+    fn unwrap_outside_service_modules_is_not_service_flagged() {
+        let f = lint_source(
+            "crates/core/src/monitor.rs",
+            "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_service_pragma_with_reason_suppresses() {
+        let src = "// cts-lint: allow(unwrap-in-service, config invariant guarantees Some)\n\
+                   pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        assert!(lint_source("crates/core/src/service.rs", src).is_empty());
     }
 
     #[test]

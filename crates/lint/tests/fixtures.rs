@@ -14,7 +14,7 @@ fn lint_fixture(fixture: &str, masquerade: &str) -> Vec<Finding> {
 }
 
 /// (fixture file, masquerade path, the single rule it must trip).
-const CASES: [(&str, &str, &str); 5] = [
+const CASES: [(&str, &str, &str); 6] = [
     (
         "nondet_iteration.rs",
         "crates/core/src/result.rs",
@@ -39,6 +39,11 @@ const CASES: [(&str, &str, &str); 5] = [
         "crate_hygiene.rs",
         "crates/fake/src/lib.rs",
         "crate-hygiene",
+    ),
+    (
+        "unwrap_in_service.rs",
+        "crates/core/src/fault.rs",
+        "unwrap-in-service",
     ),
 ];
 
